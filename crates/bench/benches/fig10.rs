@@ -1,0 +1,12 @@
+//! `cargo bench --bench fig10` — regenerates the paper's Figure 10.
+
+use citrus_bench::{banner, emit};
+use citrus_harness::{experiments, BenchConfig};
+
+fn main() {
+    banner("Figure 10 (bench) — operation-mix grid");
+    let cfg = BenchConfig::from_env();
+    for (i, report) in experiments::fig10(&cfg).iter().enumerate() {
+        emit(report, &format!("fig10_panel{i}"));
+    }
+}

@@ -1,0 +1,13 @@
+//! `cargo bench --bench fig8` — regenerates the paper's Figure 8.
+//! Plain-main bench target (no criterion harness): the measurement *is*
+//! the throughput table.
+
+use citrus_bench::{banner, emit};
+use citrus_harness::{experiments, BenchConfig};
+
+fn main() {
+    banner("Figure 8 (bench) — Citrus over standard vs scalable RCU");
+    let cfg = BenchConfig::from_env();
+    let report = experiments::fig8(&cfg);
+    emit(&report, "fig8");
+}

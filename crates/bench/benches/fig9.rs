@@ -1,0 +1,12 @@
+//! `cargo bench --bench fig9` — regenerates the paper's Figure 9.
+
+use citrus_bench::{banner, emit};
+use citrus_harness::{experiments, BenchConfig};
+
+fn main() {
+    banner("Figure 9 (bench) — single-writer workload");
+    let cfg = BenchConfig::from_env();
+    for (i, report) in experiments::fig9(&cfg).iter().enumerate() {
+        emit(report, &format!("fig9_panel{i}"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the RCU primitives: read-side
+//! enter/exit cost and solo `synchronize_rcu` latency, per flavor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle, ScalableRcu};
+
+fn bench_read_side(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rcu_read_side");
+    {
+        let rcu = ScalableRcu::new();
+        let h = rcu.register();
+        group.bench_function(ScalableRcu::NAME, |b| {
+            b.iter(|| {
+                let g = h.read_lock();
+                std::hint::black_box(&g);
+            })
+        });
+    }
+    {
+        let rcu = GlobalLockRcu::new();
+        let h = rcu.register();
+        group.bench_function(GlobalLockRcu::NAME, |b| {
+            b.iter(|| {
+                let g = h.read_lock();
+                std::hint::black_box(&g);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_synchronize_solo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rcu_synchronize_solo");
+    {
+        let rcu = ScalableRcu::new();
+        let h = rcu.register();
+        group.bench_function(ScalableRcu::NAME, |b| b.iter(|| h.synchronize()));
+    }
+    {
+        let rcu = GlobalLockRcu::new();
+        let h = rcu.register();
+        group.bench_function(GlobalLockRcu::NAME, |b| b.iter(|| h.synchronize()));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_read_side, bench_synchronize_solo
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates **Figure 10**: the 2×3 grid — key range {small, large} ×
+//! contains {100%, 98%, 50%} — for all six algorithms.
+
+use citrus_bench::{banner, emit};
+use citrus_harness::{experiments, BenchConfig};
+
+fn main() {
+    banner("Figure 10 — operation-mix grid");
+    let cfg = BenchConfig::from_env();
+    for (i, report) in experiments::fig10(&cfg).iter().enumerate() {
+        emit(report, &format!("fig10_panel{i}"));
+    }
+    println!(
+        "expected shapes: 100% contains favors the RCU trees (Red-Black, Bonsai);\n\
+         at 98% they already stop scaling (global update lock); at 50% Citrus pays\n\
+         for synchronize_rcu but stays with the best dictionaries (paper: Fig. 10)."
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Figure 8**: impact of concurrent updates on the standard
+//! (global-lock) RCU implementation vs. the paper's scalable one, under
+//! Citrus with 50% contains on the small key range.
+
+use citrus_bench::{banner, emit};
+use citrus_harness::{experiments, BenchConfig};
+
+fn main() {
+    banner("Figure 8 — Citrus over standard vs scalable RCU");
+    let cfg = BenchConfig::from_env();
+    let report = experiments::fig8(&cfg);
+    emit(&report, "fig8");
+    println!(
+        "expected shape: the standard-RCU line collapses as update threads grow;\n\
+         the scalable-RCU line does not (paper: Fig. 8)."
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Figure 9**: the single-writer workload (one thread doing
+//! 50% insert / 50% delete, all others 100% contains) for all six
+//! algorithms, on both key ranges.
+
+use citrus_bench::{banner, emit};
+use citrus_harness::{experiments, BenchConfig};
+
+fn main() {
+    banner("Figure 9 — single-writer workload");
+    let cfg = BenchConfig::from_env();
+    for (i, report) in experiments::fig9(&cfg).iter().enumerate() {
+        emit(report, &format!("fig9_panel{i}"));
+    }
+    println!(
+        "expected shape: designed to favor the RCU trees; Red-Black competitive,\n\
+         Bonsai poor (path-copying cost), Citrus/AVL/Skiplist/Lock-Free close\n\
+         (paper: Fig. 9)."
+    );
+}

@@ -1,0 +1,34 @@
+//! Shared plumbing for the figure-regeneration binaries and benches.
+//!
+//! Each figure of the paper's evaluation has both a binary
+//! (`cargo run -p citrus-bench --release --bin fig8`) and a bench target
+//! (`cargo bench -p citrus-bench --bench fig8`); both print the same
+//! table and write a CSV under `target/experiments/`.
+//!
+//! Scaling is controlled by the `CITRUS_*` environment variables (see
+//! [`citrus_harness::BenchConfig`]); set `CITRUS_PAPER=1` for the paper's
+//! full parameters.
+
+#![warn(missing_docs)]
+
+use citrus_harness::Report;
+
+/// Prints a report and writes its CSV, logging the path.
+pub fn emit(report: &Report, csv_name: &str) {
+    println!("{report}");
+    match report.write_csv(csv_name) {
+        Ok(path) => println!("(csv: {})\n", path.display()),
+        Err(e) => eprintln!("(csv write failed: {e})\n"),
+    }
+}
+
+/// Prints the standard header for a figure run.
+pub fn banner(what: &str) {
+    let cfg = citrus_harness::BenchConfig::from_env();
+    println!("=== {what} ===");
+    println!(
+        "config: duration {:?}/point, {} rep(s), threads {:?}, ranges [0,{}] and [0,{}] \
+         (CITRUS_PAPER=1 for the paper's parameters)\n",
+        cfg.duration, cfg.reps, cfg.threads, cfg.range_small, cfg.range_large
+    );
+}

@@ -1,0 +1,571 @@
+//! The Citrus tree algorithm (paper §3), line for line.
+//!
+//! * `get` — wait-free search inside an RCU read-side critical section
+//!   (lines 1–15 → [`CitrusSession::search`]).
+//! * `contains` — `get` plus a value read (lines 16–20 →
+//!   [`CitrusSession::get`]).
+//! * `insert` — search, lock `prev` **outside** the read-side section,
+//!   validate, link a new leaf (lines 21–32 → [`CitrusSession::insert`]).
+//! * `delete` — search, lock `prev` and `curr`, validate; a node with at
+//!   most one child is *bypassed*; a node with two children is replaced by
+//!   a **copy of its successor**, then the operation waits for concurrent
+//!   searches with `synchronize_rcu` before unlinking the old successor
+//!   (lines 42–84 → [`CitrusSession::remove`]).
+//! * `validate` / `incrementTag` — lines 33–41 → [`validate`] /
+//!   [`Node::increment_tag`].
+
+use crate::node::{Dir, KeyBound, Node};
+use citrus_api::{ConcurrentMap, MapSession};
+use citrus_rcu::{RcuFlavor, RcuHandle, ScalableRcu};
+use citrus_reclaim::{EbrDomain, EbrHandle};
+use citrus_sync::SpinMutex;
+use core::cell::{Cell, RefCell};
+use core::cmp::Ordering as CmpOrdering;
+use core::fmt;
+use core::marker::PhantomData;
+use core::ptr;
+
+/// How removed nodes are reclaimed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReclaimMode {
+    /// Removed nodes are queued and freed only when the tree is dropped.
+    ///
+    /// This is the paper's measurement methodology ("without performing any
+    /// memory reclamation") — zero reclamation work on the operation path,
+    /// unbounded transient memory.
+    Leak,
+    /// Removed nodes are retired to an epoch-based reclamation domain and
+    /// freed after a grace period covering entire operations (the paper's
+    /// future-work item; see `citrus-reclaim`). The default.
+    #[default]
+    Epoch,
+}
+
+enum ReclaimInner<K, V> {
+    Leak(SpinMutex<Vec<*mut Node<K, V>>>),
+    Epoch(EbrDomain),
+}
+
+/// The Citrus tree: an internal binary search tree with fine-grained
+/// locking among updaters and wait-free, RCU-protected `contains`.
+///
+/// Generic over the RCU implementation `F` — the paper's own scalable
+/// flavor ([`ScalableRcu`], the default) or the classic global-lock flavor
+/// ([`GlobalLockRcu`](citrus_rcu::GlobalLockRcu)) whose collapse Figure 8
+/// demonstrates.
+///
+/// Threads operate through per-thread [`CitrusSession`]s.
+///
+/// # Example
+///
+/// ```
+/// use citrus::CitrusTree;
+///
+/// let tree: CitrusTree<u64, &str> = CitrusTree::new();
+/// let mut session = tree.session();
+/// assert!(session.insert(1, "one"));
+/// assert_eq!(session.get(&1), Some("one"));
+/// assert!(session.remove(&1));
+/// assert_eq!(session.get(&1), None);
+/// ```
+pub struct CitrusTree<K, V, F: RcuFlavor = ScalableRcu> {
+    /// The `−1` sentinel; its right child is the `∞` sentinel and all real
+    /// nodes live in the `∞` node's left subtree. Never changes.
+    root: *mut Node<K, V>,
+    rcu: F,
+    reclaim: ReclaimInner<K, V>,
+    _marker: PhantomData<Node<K, V>>,
+}
+
+// SAFETY: the tree is a concurrent container; all cross-thread access to
+// node internals is mediated by atomics, per-node locks, RCU, and the
+// reclamation protocol. Keys and values cross threads, hence the bounds.
+unsafe impl<K: Send + Sync, V: Send + Sync, F: RcuFlavor> Send for CitrusTree<K, V, F> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, F: RcuFlavor> Sync for CitrusTree<K, V, F> {}
+
+impl<K, V, F: RcuFlavor> CitrusTree<K, V, F> {
+    /// Creates an empty tree with the default [`ReclaimMode::Epoch`].
+    pub fn new() -> Self {
+        Self::with_reclaim(ReclaimMode::default())
+    }
+
+    /// Creates an empty tree with the given reclamation mode.
+    pub fn with_reclaim(mode: ReclaimMode) -> Self {
+        let inf = Node::new_leaf(KeyBound::PosInf, None);
+        let root = Node::new_leaf(KeyBound::NegInf, None);
+        // SAFETY: freshly allocated, exclusively owned until `Self` exists.
+        unsafe { (*root).set_child(Dir::Right, inf) };
+        Self {
+            root,
+            rcu: F::new(),
+            reclaim: match mode {
+                ReclaimMode::Leak => ReclaimInner::Leak(SpinMutex::new(Vec::new())),
+                ReclaimMode::Epoch => ReclaimInner::Epoch(EbrDomain::new()),
+            },
+            _marker: PhantomData,
+        }
+    }
+
+    /// The tree's reclamation mode.
+    pub fn reclaim_mode(&self) -> ReclaimMode {
+        match &self.reclaim {
+            ReclaimInner::Leak(_) => ReclaimMode::Leak,
+            ReclaimInner::Epoch(_) => ReclaimMode::Epoch,
+        }
+    }
+
+    /// The RCU domain (diagnostics: grace-period counts for benchmarks).
+    pub fn rcu(&self) -> &F {
+        &self.rcu
+    }
+
+    /// Number of removed nodes already freed by the reclamation scheme:
+    /// `Some(count)` in [`ReclaimMode::Epoch`], `None` in
+    /// [`ReclaimMode::Leak`] (nothing is freed before drop).
+    pub fn reclaimed_count(&self) -> Option<u64> {
+        match &self.reclaim {
+            ReclaimInner::Epoch(domain) => Some(domain.freed_count()),
+            ReclaimInner::Leak(_) => None,
+        }
+    }
+
+    /// Creates a session for the calling thread.
+    ///
+    /// Sessions are cheap (one RCU reader slot, one optional reclamation
+    /// slot) but not free — create one per thread, not per operation.
+    pub fn session(&self) -> CitrusSession<'_, K, V, F> {
+        CitrusSession {
+            tree: self,
+            rcu: self.rcu.register(),
+            ebr: match &self.reclaim {
+                ReclaimInner::Epoch(domain) => Some(domain.register()),
+                ReclaimInner::Leak(_) => None,
+            },
+            graveyard: RefCell::new(Vec::new()),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Root pointer, for the invariant checkers in [`crate::checks`].
+    pub(crate) fn root_ptr(&self) -> *mut Node<K, V> {
+        self.root
+    }
+}
+
+impl<K, V, F: RcuFlavor> Default for CitrusTree<K, V, F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, F: RcuFlavor> Drop for CitrusTree<K, V, F> {
+    fn drop(&mut self) {
+        // `&mut self`: no sessions exist (they borrow the tree), so every
+        // reachable node is exclusively ours. Retired nodes are unreachable
+        // from the root (delete unlinks before retiring), so the two sweeps
+        // below are disjoint.
+        let mut stack = vec![self.root];
+        while let Some(p) = stack.pop() {
+            if p.is_null() {
+                continue;
+            }
+            // SAFETY: reachable nodes form a tree (Lemma 6: single parent),
+            // so each is visited exactly once.
+            unsafe {
+                stack.push((*p).child(Dir::Left));
+                stack.push((*p).child(Dir::Right));
+                drop(Box::from_raw(p));
+            }
+        }
+        if let ReclaimInner::Leak(graveyard) = &self.reclaim {
+            for p in graveyard.lock().drain(..) {
+                // SAFETY: graveyard nodes were unlinked and never freed.
+                unsafe { drop(Box::from_raw(p)) };
+            }
+        }
+        // Epoch mode: the EbrDomain's own Drop frees its retired nodes.
+    }
+}
+
+impl<K: fmt::Debug, V, F: RcuFlavor> fmt::Debug for CitrusTree<K, V, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CitrusTree")
+            .field("rcu", &F::NAME)
+            .field("reclaim", &self.reclaim_mode())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V, F> ConcurrentMap<K, V> for CitrusTree<K, V, F>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    F: RcuFlavor,
+{
+    type Session<'a>
+        = CitrusSession<'a, K, V, F>
+    where
+        Self: 'a;
+
+    const NAME: &'static str = "citrus";
+
+    fn session(&self) -> CitrusSession<'_, K, V, F> {
+        CitrusTree::session(self)
+    }
+}
+
+/// Per-session operation statistics (diagnostics for tests and ablations).
+#[derive(Debug, Default)]
+pub struct SessionStats {
+    insert_retries: Cell<u64>,
+    remove_retries: Cell<u64>,
+    synchronize_calls: Cell<u64>,
+}
+
+impl SessionStats {
+    /// Times an `insert` failed validation and restarted.
+    pub fn insert_retries(&self) -> u64 {
+        self.insert_retries.get()
+    }
+
+    /// Times a `remove` failed validation and restarted.
+    pub fn remove_retries(&self) -> u64 {
+        self.remove_retries.get()
+    }
+
+    /// `synchronize_rcu` invocations (one per successful two-child delete).
+    pub fn synchronize_calls(&self) -> u64 {
+        self.synchronize_calls.get()
+    }
+}
+
+/// A per-thread handle to a [`CitrusTree`].
+///
+/// Holds the thread's RCU reader slot and (in `Epoch` mode) its
+/// reclamation slot. Not `Send`.
+pub struct CitrusSession<'t, K, V, F: RcuFlavor> {
+    tree: &'t CitrusTree<K, V, F>,
+    rcu: F::Handle<'t>,
+    ebr: Option<EbrHandle<'t>>,
+    /// `Leak` mode: locally buffered unlinked nodes, flushed to the tree's
+    /// graveyard in batches (and on drop).
+    graveyard: RefCell<Vec<*mut Node<K, V>>>,
+    stats: SessionStats,
+}
+
+/// Batch size for flushing the session graveyard to the shared one.
+const GRAVEYARD_FLUSH: usize = 256;
+
+/// The paper's `validate` (lines 33–38): all checks are on locked nodes'
+/// local fields.
+///
+/// # Safety
+///
+/// `prev` must be a valid, locked node; `curr` must be null or a valid
+/// node.
+unsafe fn validate<K, V>(
+    prev: *mut Node<K, V>,
+    tag: u64,
+    curr: *mut Node<K, V>,
+    dir: Dir,
+) -> bool {
+    // SAFETY: `prev` valid per contract.
+    let prev_ref = unsafe { &*prev };
+    if prev_ref.is_marked() || prev_ref.child(dir) != curr {
+        return false;
+    }
+    if !curr.is_null() {
+        // SAFETY: `curr` valid per contract.
+        return !unsafe { &*curr }.is_marked();
+    }
+    prev_ref.tag(dir) == tag
+}
+
+impl<'t, K, V, F> CitrusSession<'t, K, V, F>
+where
+    K: Ord + Clone,
+    V: Clone,
+    F: RcuFlavor,
+{
+    /// The paper's `get` (lines 1–15): wait-free search from the root,
+    /// inside a read-side critical section, returning
+    /// `(prev, tag, curr, direction)`.
+    ///
+    /// Must be called inside an RCU read-side critical section (and with
+    /// the EBR pin held in `Epoch` mode).
+    fn search(&self, key: &K) -> (*mut Node<K, V>, u64, *mut Node<K, V>, Dir) {
+        debug_assert!(self.rcu.in_read_section());
+        let mut prev = self.tree.root;
+        // SAFETY: the root is never null (line 4's comment) and never
+        // freed before the tree; nodes reached during the read-side
+        // section stay allocated (RCU + reclamation protocol).
+        unsafe {
+            let mut dir = Dir::Right;
+            let mut curr = (*prev).child(dir); // root's right child: the ∞ sentinel
+            loop {
+                if curr.is_null() {
+                    break;
+                }
+                let cmp = (*curr).key.cmp_key(key);
+                if cmp == CmpOrdering::Equal {
+                    break;
+                }
+                prev = curr;
+                dir = Dir::from_cmp(cmp);
+                curr = (*prev).child(dir);
+            }
+            // Line 13: save the tag inside the read-side critical section.
+            let tag = (*prev).tag(dir);
+            (prev, tag, curr, dir)
+        }
+    }
+
+    /// The paper's `contains` (lines 16–20): returns the value stored with
+    /// `key`, if present. Wait-free.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let _pin = self.ebr.as_ref().map(|h| h.pin());
+        let _guard = self.rcu.read_lock();
+        let (_prev, _tag, curr, _dir) = self.search(key);
+        if curr.is_null() {
+            return None;
+        }
+        // SAFETY: `curr` was reachable during the read-side section
+        // (Lemma 2) and its value never changes; it cannot be freed while
+        // we are inside the section (Leak mode never frees; Epoch mode is
+        // covered by the pin).
+        unsafe { (*curr).value.clone() }
+    }
+
+    /// Returns `true` iff `key` is present. Wait-free.
+    pub fn contains(&mut self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// The paper's `insert` (lines 21–32). Returns `true` iff `key` was
+    /// absent.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        let _pin = self.ebr.as_ref().map(|h| h.pin());
+        let mut payload = Some((key, value));
+        loop {
+            let (key_ref, _) = payload.as_ref().expect("payload present until success");
+            // Locks are acquired *outside* the read-side critical section
+            // (avoiding RCU deadlock), so the guard is scoped to the search.
+            let (prev, tag, curr, dir) = {
+                let _guard = self.rcu.read_lock();
+                self.search(key_ref)
+            };
+            if !curr.is_null() {
+                // Line 24: the key was found.
+                return false;
+            }
+            // SAFETY: `prev` stays allocated (reclamation protocol); locking
+            // an unlinked node is harmless — validation will fail.
+            unsafe {
+                (*prev).lock.lock();
+                if validate(prev, tag, ptr::null_mut(), dir) {
+                    let (key, value) = payload.take().expect("first success");
+                    let node = Node::new_leaf(KeyBound::Key(key), Some(value));
+                    // Line 29: publish the new leaf.
+                    (*prev).set_child(dir, node);
+                    (*prev).lock.unlock();
+                    return true;
+                }
+                // Line 32: validation failed; release and retry.
+                (*prev).lock.unlock();
+            }
+            self.stats.insert_retries.set(self.stats.insert_retries.get() + 1);
+        }
+    }
+
+    /// The paper's `delete` (lines 42–84). Returns `true` iff `key` was
+    /// present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let _pin = self.ebr.as_ref().map(|h| h.pin());
+        loop {
+            let (prev, _tag, curr, dir) = {
+                let _guard = self.rcu.read_lock();
+                self.search(key)
+            };
+            if curr.is_null() {
+                // Line 45: the key was not found.
+                return false;
+            }
+            // SAFETY: nodes stay allocated for the whole operation (Leak
+            // never frees; Epoch covered by `_pin`); every field write
+            // below is to a node this thread has locked.
+            unsafe {
+                (*prev).lock.lock();
+                (*curr).lock.lock();
+                if !validate(prev, 0, curr, dir) {
+                    (*curr).lock.unlock();
+                    (*prev).lock.unlock();
+                    self.stats.remove_retries.set(self.stats.remove_retries.get() + 1);
+                    continue;
+                }
+                let left = (*curr).child(Dir::Left);
+                let right = (*curr).child(Dir::Right);
+                if left.is_null() || right.is_null() {
+                    // Lines 50–56: at most one child — bypass `curr`.
+                    (*curr).mark();
+                    let not_none_child = if !left.is_null() { left } else { right };
+                    (*prev).set_child(dir, not_none_child);
+                    (*prev).increment_tag(dir);
+                    (*curr).lock.unlock();
+                    (*prev).lock.unlock();
+                    self.retire(curr);
+                    return true;
+                }
+
+                // Lines 57–64: two children — find the successor by walking
+                // the leftmost branch of `curr`'s right subtree. No
+                // read-side critical section is needed: the traversal never
+                // consults keys.
+                let mut prev_succ = curr;
+                let mut succ = right;
+                let mut next = (*succ).child(Dir::Left);
+                while !next.is_null() {
+                    prev_succ = succ;
+                    succ = next;
+                    next = (*next).child(Dir::Left);
+                }
+                // Line 65.
+                let succ_dir = if prev_succ == curr { Dir::Right } else { Dir::Left };
+                // Lines 66–68: do not lock `curr` twice.
+                if prev_succ != curr {
+                    (*prev_succ).lock.lock();
+                }
+                (*succ).lock.lock();
+
+                // Line 69.
+                let succ_left_tag = (*succ).tag(Dir::Left);
+                if validate(prev_succ, 0, succ, succ_dir)
+                    && validate(succ, succ_left_tag, ptr::null_mut(), Dir::Left)
+                {
+                    // Line 70: a copy of the successor with `curr`'s
+                    // children...
+                    let node = Node::new_replacement(
+                        (*succ).key.clone(),
+                        (*succ).value.clone(),
+                        (*curr).child(Dir::Left),
+                        (*curr).child(Dir::Right),
+                    );
+                    // Line 71: ...locked before publication.
+                    (*node).lock.lock();
+                    // Lines 72–73: mark `curr`, splice the copy in. From
+                    // here until line 75 two nodes carry the successor's
+                    // key — the weak BST property (Definition 1).
+                    (*curr).mark();
+                    (*prev).set_child(dir, node);
+
+                    // Line 74: wait for pre-existing searches, which may
+                    // still be looking at the successor's *old* location.
+                    self.rcu.synchronize();
+                    self.stats
+                        .synchronize_calls
+                        .set(self.stats.synchronize_calls.get() + 1);
+
+                    // Lines 75–81: unlink the old successor.
+                    (*succ).mark();
+                    if prev_succ == curr {
+                        // Line 76: succ was the right child of curr, so its
+                        // old position is now under the replacement copy.
+                        (*node).set_child(Dir::Right, (*succ).child(Dir::Right));
+                        (*node).increment_tag(Dir::Right);
+                    } else {
+                        (*prev_succ).set_child(Dir::Left, (*succ).child(Dir::Right));
+                        (*prev_succ).increment_tag(Dir::Left);
+                    }
+
+                    // Lines 82–83: release all locks.
+                    (*node).lock.unlock();
+                    (*succ).lock.unlock();
+                    if prev_succ != curr {
+                        (*prev_succ).lock.unlock();
+                    }
+                    (*curr).lock.unlock();
+                    (*prev).lock.unlock();
+                    self.retire(curr);
+                    self.retire(succ);
+                    return true;
+                }
+
+                // Line 84: validation failed; release all locks and retry.
+                (*succ).lock.unlock();
+                if prev_succ != curr {
+                    (*prev_succ).lock.unlock();
+                }
+                (*curr).lock.unlock();
+                (*prev).lock.unlock();
+            }
+            self.stats.remove_retries.set(self.stats.remove_retries.get() + 1);
+        }
+    }
+
+    /// Operation statistics for this session.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Hands an unlinked node to the tree's reclamation scheme.
+    ///
+    /// # Safety-relevant invariant
+    ///
+    /// `node` must be unreachable from the root (just unlinked by this
+    /// thread while holding the relevant locks).
+    fn retire(&self, node: *mut Node<K, V>) {
+        match &self.ebr {
+            Some(handle) => {
+                // SAFETY: `node` is unlinked and Box-allocated; concurrent
+                // holders are covered by their pins.
+                unsafe { handle.retire(node) };
+            }
+            None => {
+                let mut local = self.graveyard.borrow_mut();
+                local.push(node);
+                if local.len() >= GRAVEYARD_FLUSH {
+                    if let ReclaimInner::Leak(shared) = &self.tree.reclaim {
+                        shared.lock().append(&mut local);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<K, V, F: RcuFlavor> Drop for CitrusSession<'_, K, V, F> {
+    fn drop(&mut self) {
+        let mut local = self.graveyard.borrow_mut();
+        if !local.is_empty() {
+            if let ReclaimInner::Leak(shared) = &self.tree.reclaim {
+                shared.lock().append(&mut local);
+            }
+        }
+    }
+}
+
+impl<K, V, F: RcuFlavor> fmt::Debug for CitrusSession<'_, K, V, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CitrusSession")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V, F> MapSession<K, V> for CitrusSession<'_, K, V, F>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    F: RcuFlavor,
+{
+    fn get(&mut self, key: &K) -> Option<V> {
+        CitrusSession::get(self, key)
+    }
+
+    fn insert(&mut self, key: K, value: V) -> bool {
+        CitrusSession::insert(self, key, value)
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        CitrusSession::remove(self, key)
+    }
+}

@@ -1,0 +1,101 @@
+//! Environment-driven scaling of the benchmark suite.
+
+use std::time::Duration;
+
+/// Global benchmark parameters.
+///
+/// Defaults are scaled down so the whole suite completes in minutes on a
+/// small machine; `CITRUS_PAPER=1` restores the paper's setup (5-second
+/// runs, five repetitions, threads 1–64, key ranges 2·10⁵ and 2·10⁶).
+///
+/// | variable | meaning | default | paper |
+/// |---|---|---|---|
+/// | `CITRUS_PAPER` | use the paper's full parameters | unset | — |
+/// | `CITRUS_DURATION_MS` | per-point run duration | 200 | 5000 |
+/// | `CITRUS_REPS` | repetitions averaged per point | 1 | 5 |
+/// | `CITRUS_THREADS` | comma-separated thread counts | `1,2,4,8` | `1,4,16,64` |
+/// | `CITRUS_RANGE_SMALL` | small key range | 20000 | 200000 |
+/// | `CITRUS_RANGE_LARGE` | large key range | 200000 | 2000000 |
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Per-point run duration.
+    pub duration: Duration,
+    /// Repetitions averaged per point.
+    pub reps: usize,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// The paper's `[0, 2·10⁵]` range (possibly scaled down).
+    pub range_small: u64,
+    /// The paper's `[0, 2·10⁶]` range (possibly scaled down).
+    pub range_large: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl BenchConfig {
+    /// Reads the configuration from the environment (see type docs).
+    pub fn from_env() -> Self {
+        let paper = std::env::var("CITRUS_PAPER").is_ok_and(|v| v != "0" && !v.is_empty());
+        let (d_duration, d_reps, d_threads, d_small, d_large) = if paper {
+            (5_000, 5, "1,4,16,64", 200_000, 2_000_000)
+        } else {
+            (200, 1, "1,2,4,8", 20_000, 200_000)
+        };
+        let threads_raw =
+            std::env::var("CITRUS_THREADS").unwrap_or_else(|_| d_threads.to_string());
+        let threads: Vec<usize> = threads_raw
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&t| t > 0)
+            .collect();
+        Self {
+            duration: Duration::from_millis(env_u64("CITRUS_DURATION_MS", d_duration)),
+            reps: env_u64("CITRUS_REPS", d_reps) as usize,
+            threads: if threads.is_empty() {
+                vec![1, 2, 4, 8]
+            } else {
+                threads
+            },
+            range_small: env_u64("CITRUS_RANGE_SMALL", d_small),
+            range_large: env_u64("CITRUS_RANGE_LARGE", d_large),
+        }
+    }
+
+    /// A minimal configuration for smoke tests.
+    pub fn smoke() -> Self {
+        Self {
+            duration: Duration::from_millis(30),
+            reps: 1,
+            threads: vec![1, 2],
+            range_small: 512,
+            range_large: 2_048,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        // NOTE: reads the real environment; only check invariants that
+        // hold for any configuration.
+        let c = BenchConfig::from_env();
+        assert!(!c.threads.is_empty());
+        assert!(c.duration > Duration::ZERO);
+        assert!(c.range_small <= c.range_large);
+    }
+
+    #[test]
+    fn smoke_is_small() {
+        let c = BenchConfig::smoke();
+        assert!(c.duration < Duration::from_millis(100));
+        assert_eq!(c.reps, 1);
+    }
+}

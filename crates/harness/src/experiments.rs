@@ -1,0 +1,131 @@
+//! The paper's three experimental figures, as runnable experiment
+//! definitions. Each function sweeps the configured thread counts and
+//! returns one [`Report`] per figure panel.
+
+use crate::config::BenchConfig;
+use crate::report::Report;
+use crate::runner::run_algo;
+use crate::workload::{Algo, OpMix, WorkloadSpec};
+
+/// Figure 8 — impact of concurrent updates on the RCU implementation:
+/// Citrus over the standard (global-lock) RCU vs. over the paper's
+/// scalable RCU; 50% contains, small key range.
+///
+/// Expected shape: the standard-RCU line collapses as threads (and thus
+/// concurrent `synchronize_rcu` calls) grow; the scalable line does not.
+pub fn fig8(cfg: &BenchConfig) -> Report {
+    let mix = OpMix::with_contains(50);
+    let mut report = Report::new(
+        format!(
+            "Fig. 8 — Citrus: standard vs scalable RCU (50% contains, range [0,{}])",
+            cfg.range_small
+        ),
+        cfg.threads.clone(),
+    );
+    for algo in [Algo::CitrusStdRcu, Algo::Citrus] {
+        let points = cfg
+            .threads
+            .iter()
+            .map(|&t| {
+                let spec = WorkloadSpec::new(cfg.range_small, mix, t, cfg.duration);
+                run_algo(algo, &spec, cfg.reps, 0x816)
+            })
+            .collect();
+        report.push(algo.label(), points);
+    }
+    report
+}
+
+/// Figure 9 — single-writer workload (designed to favor the RCU trees):
+/// one thread runs 50% insert / 50% delete, all others 100% contains.
+/// Two panels: key ranges small and large.
+pub fn fig9(cfg: &BenchConfig) -> Vec<Report> {
+    [cfg.range_small, cfg.range_large]
+        .into_iter()
+        .map(|range| {
+            let mut report = Report::new(
+                format!("Fig. 9 — single writer, key range [0,{range}]"),
+                cfg.threads.clone(),
+            );
+            for algo in Algo::FIGURE_SET {
+                let points = cfg
+                    .threads
+                    .iter()
+                    .map(|&t| {
+                        let spec = WorkloadSpec::single_writer(range, t, cfg.duration);
+                        run_algo(algo, &spec, cfg.reps, 0x916)
+                    })
+                    .collect();
+                report.push(algo.label(), points);
+            }
+            report
+        })
+        .collect()
+}
+
+/// Figure 10 — the 2×3 grid: key range {small, large} × contains
+/// {100%, 98%, 50%}, all six algorithms.
+///
+/// Expected shapes: at 100% contains the coarse-grained RCU trees
+/// (Red-Black, Bonsai) are competitive; with any update share they stop
+/// scaling (global update lock) while Citrus stays with the
+/// fine-grained/lock-free dictionaries.
+pub fn fig10(cfg: &BenchConfig) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for range in [cfg.range_small, cfg.range_large] {
+        for contains_pct in [100u32, 98, 50] {
+            let mix = OpMix::with_contains(contains_pct);
+            let mut report = Report::new(
+                format!("Fig. 10 — {contains_pct}% contains, key range [0,{range}]"),
+                cfg.threads.clone(),
+            );
+            for algo in Algo::FIGURE_SET {
+                let points = cfg
+                    .threads
+                    .iter()
+                    .map(|&t| {
+                        let spec = WorkloadSpec::new(range, mix, t, cfg.duration);
+                        run_algo(algo, &spec, cfg.reps, 0x1016)
+                    })
+                    .collect();
+                report.push(algo.label(), points);
+            }
+            reports.push(report);
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_smoke() {
+        let cfg = BenchConfig::smoke();
+        let r = fig8(&cfg);
+        assert_eq!(r.series.len(), 2);
+        assert!(r.series.iter().all(|s| s.points.iter().all(|&p| p > 0.0)));
+    }
+
+    #[test]
+    fn fig9_smoke() {
+        let cfg = BenchConfig::smoke();
+        let rs = fig9(&cfg);
+        assert_eq!(rs.len(), 2);
+        for r in rs {
+            assert_eq!(r.series.len(), 6);
+            assert!(r.series.iter().all(|s| s.points.iter().all(|&p| p > 0.0)));
+        }
+    }
+
+    #[test]
+    fn fig10_smoke() {
+        let cfg = BenchConfig::smoke();
+        let rs = fig10(&cfg);
+        assert_eq!(rs.len(), 6, "2 ranges × 3 mixes");
+        for r in rs {
+            assert_eq!(r.series.len(), 6);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Result tables: aligned text output (mirroring the paper's figures as
+//! rows/series) and CSV files for external plotting.
+
+use core::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One line in a figure: an algorithm's throughput across the x-axis
+/// (thread counts).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (e.g. `"Citrus"`).
+    pub label: String,
+    /// Throughput (ops/s) per x-axis point.
+    pub points: Vec<f64>,
+}
+
+/// A reproduced figure panel: x-axis (threads) plus one series per
+/// algorithm.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Panel title (e.g. `"Fig. 10 — 50% contains, key range [0,2e5]"`).
+    pub title: String,
+    /// X-axis values (thread counts).
+    pub threads: Vec<usize>,
+    /// One series per algorithm.
+    pub series: Vec<Series>,
+}
+
+impl Report {
+    /// Creates an empty report for the given thread sweep.
+    pub fn new(title: impl Into<String>, threads: Vec<usize>) -> Self {
+        Self {
+            title: title.into(),
+            threads,
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a series.
+    pub fn push(&mut self, label: impl Into<String>, points: Vec<f64>) {
+        assert_eq!(points.len(), self.threads.len(), "series length mismatch");
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// Writes the report as CSV under `target/experiments/<name>.csv`;
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating the directory or file.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/experiments");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        write!(f, "algorithm")?;
+        for t in &self.threads {
+            write!(f, ",{t}")?;
+        }
+        writeln!(f)?;
+        for s in &self.series {
+            write!(f, "{}", s.label)?;
+            for p in &s.points {
+                write!(f, ",{p:.0}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(path)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        write!(f, "{:<26}", "algorithm \\ threads")?;
+        for t in &self.threads {
+            write!(f, "{t:>12}")?;
+        }
+        writeln!(f)?;
+        for s in &self.series {
+            write!(f, "{:<26}", s.label)?;
+            for p in &s.points {
+                write!(f, "{:>12}", format_throughput(*p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Human-scale throughput formatting (`3.21M`, `870k`, ...).
+fn format_throughput(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e6 {
+        format!("{:.2}M", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.0}k", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("test", vec![1, 4]);
+        r.push("Citrus", vec![1_500_000.0, 4_200_000.0]);
+        r.push("Bonsai", vec![800.0, 70_500.0]);
+        let out = format!("{r}");
+        assert!(out.contains("Citrus"));
+        assert!(out.contains("1.50M"));
+        assert!(out.contains("70k") || out.contains("71k"));
+        assert!(out.contains("800"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_series() {
+        let mut r = Report::new("test", vec![1, 4]);
+        r.push("x", vec![1.0]);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let mut r = Report::new("csv-test", vec![1, 2]);
+        r.push("A", vec![10.0, 20.0]);
+        let path = r.write_csv("unit_test_report").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("algorithm,1,2"));
+        assert!(body.contains("A,10,20"));
+        std::fs::remove_file(path).ok();
+    }
+}

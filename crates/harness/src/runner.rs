@@ -1,0 +1,232 @@
+//! Timed throughput runs (the paper's measurement loop).
+
+use crate::workload::{Algo, OpKind, WorkloadSpec};
+use citrus::{CitrusTree, GlobalLockRcu, ReclaimMode, ScalableRcu};
+use citrus_api::testkit::SplitMix64;
+use citrus_api::{ConcurrentMap, MapSession};
+use citrus_baselines::{
+    BonsaiTree, LazySkipList, LockFreeBst, OptimisticAvlTree, RelativisticRbTree,
+};
+use core::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Result of one timed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total operations completed across all threads.
+    pub total_ops: u64,
+    /// Measured wall-clock duration.
+    pub duration: Duration,
+    /// Operations completed per thread.
+    pub per_thread: Vec<u64>,
+}
+
+impl RunResult {
+    /// Overall throughput in operations per second (the paper's y-axis).
+    pub fn throughput(&self) -> f64 {
+        self.total_ops as f64 / self.duration.as_secs_f64()
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3e} ops/s ({} ops in {:?})",
+            self.throughput(),
+            self.total_ops,
+            self.duration
+        )
+    }
+}
+
+/// Pre-fills `map` with `spec.prefill` distinct random keys from the key
+/// range (the paper pre-fills to half the range).
+fn prefill<M: ConcurrentMap<u64, u64>>(map: &M, spec: &WorkloadSpec, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let mut session = map.session();
+    let mut inserted = 0;
+    while inserted < spec.prefill {
+        let key = rng.below(spec.key_range);
+        if session.insert(key, key.wrapping_mul(2) + 1) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Runs the paper's measurement loop against `map`: pre-fill, then
+/// `spec.threads` workers each executing random operations for
+/// `spec.duration`, returning aggregate throughput.
+pub fn run_throughput<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    spec: &WorkloadSpec,
+    seed: u64,
+) -> RunResult {
+    assert!(spec.threads > 0, "at least one worker required");
+    prefill(map, spec, seed ^ 0xF177);
+
+    let stop = AtomicBool::new(false);
+    // Workers + the timer thread all start together.
+    let barrier = Barrier::new(spec.threads + 1);
+    let mut per_thread = vec![0u64; spec.threads];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(spec.threads);
+        for t in 0..spec.threads {
+            let (stop, barrier) = (&stop, &barrier);
+            let spec = spec.clone();
+            let map = &*map;
+            handles.push(scope.spawn(move || {
+                let mut rng = SplitMix64::new(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                let mut session = map.session();
+                // Figure 9: thread 0 is the sole updater (50% insert, 50%
+                // delete); all other threads only search.
+                let mix = if spec.single_writer {
+                    if t == 0 {
+                        crate::workload::OpMix::updates_only()
+                    } else {
+                        crate::workload::OpMix::read_only()
+                    }
+                } else {
+                    spec.mix
+                };
+                let mut ops = 0u64;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    // Batch a few operations per stop-flag check.
+                    for _ in 0..32 {
+                        let key = rng.below(spec.key_range);
+                        match mix.pick(rng.below(100) as u32) {
+                            OpKind::Contains => {
+                                std::hint::black_box(session.get(&key));
+                            }
+                            OpKind::Insert => {
+                                std::hint::black_box(
+                                    session.insert(key, key.wrapping_mul(2) + 1),
+                                );
+                            }
+                            OpKind::Delete => {
+                                std::hint::black_box(session.remove(&key));
+                            }
+                        }
+                        ops += 1;
+                    }
+                }
+                ops
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(spec.duration);
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = start.elapsed();
+        for (t, h) in handles.into_iter().enumerate() {
+            per_thread[t] = h.join().expect("worker panicked");
+        }
+        let total_ops = per_thread.iter().sum();
+        RunResult {
+            total_ops,
+            duration: elapsed,
+            per_thread,
+        }
+    })
+}
+
+/// Builds the structure for `algo` and runs the workload on it, averaging
+/// `reps` repetitions (the paper averages five).
+pub fn run_algo(algo: Algo, spec: &WorkloadSpec, reps: usize, seed: u64) -> f64 {
+    let mut sum = 0.0;
+    for rep in 0..reps.max(1) {
+        let rep_seed = seed ^ (rep as u64) << 32;
+        // Fresh structure per repetition, as in the paper.
+        let r = match algo {
+            Algo::Citrus => {
+                let map: CitrusTree<u64, u64, ScalableRcu> =
+                    CitrusTree::with_reclaim(ReclaimMode::Leak);
+                run_throughput(&map, spec, rep_seed)
+            }
+            Algo::CitrusStdRcu => {
+                let map: CitrusTree<u64, u64, GlobalLockRcu> =
+                    CitrusTree::with_reclaim(ReclaimMode::Leak);
+                run_throughput(&map, spec, rep_seed)
+            }
+            Algo::CitrusEbr => {
+                let map: CitrusTree<u64, u64, ScalableRcu> =
+                    CitrusTree::with_reclaim(ReclaimMode::Epoch);
+                run_throughput(&map, spec, rep_seed)
+            }
+            Algo::Avl => {
+                let map: OptimisticAvlTree<u64, u64> = OptimisticAvlTree::new();
+                run_throughput(&map, spec, rep_seed)
+            }
+            Algo::Skiplist => {
+                let map: LazySkipList<u64, u64> = LazySkipList::new();
+                run_throughput(&map, spec, rep_seed)
+            }
+            Algo::LockFree => {
+                let map: LockFreeBst<u64, u64> = LockFreeBst::new();
+                run_throughput(&map, spec, rep_seed)
+            }
+            Algo::Rbtree => {
+                let map: RelativisticRbTree<u64, u64> = RelativisticRbTree::new();
+                run_throughput(&map, spec, rep_seed)
+            }
+            Algo::Bonsai => {
+                let map: BonsaiTree<u64, u64> = BonsaiTree::new();
+                run_throughput(&map, spec, rep_seed)
+            }
+        };
+        sum += r.throughput();
+    }
+    sum / reps.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::OpMix;
+
+    #[test]
+    fn throughput_run_produces_ops() {
+        let map: CitrusTree<u64, u64> = CitrusTree::with_reclaim(ReclaimMode::Leak);
+        let spec = WorkloadSpec::new(1_000, OpMix::with_contains(50), 2, Duration::from_millis(50));
+        let r = run_throughput(&map, &spec, 7);
+        assert!(r.total_ops > 0);
+        assert_eq!(r.per_thread.len(), 2);
+        assert!(r.throughput() > 0.0);
+        assert!(format!("{r}").contains("ops/s"));
+    }
+
+    #[test]
+    fn prefill_reaches_target() {
+        let map: CitrusTree<u64, u64> = CitrusTree::new();
+        let spec = WorkloadSpec::new(500, OpMix::read_only(), 1, Duration::from_millis(1));
+        prefill(&map, &spec, 3);
+        let mut map = map;
+        assert_eq!(map.len_quiescent(), 250);
+    }
+
+    #[test]
+    fn single_writer_mode_runs_every_algo() {
+        for algo in Algo::FIGURE_SET {
+            let spec = WorkloadSpec::single_writer(200, 2, Duration::from_millis(20));
+            let tp = run_algo(algo, &spec, 1, 11);
+            assert!(tp > 0.0, "{algo} produced no throughput");
+        }
+    }
+
+    #[test]
+    fn citrus_both_flavors_run() {
+        let spec = WorkloadSpec::new(
+            400,
+            OpMix::with_contains(50),
+            3,
+            Duration::from_millis(30),
+        );
+        for algo in [Algo::Citrus, Algo::CitrusStdRcu, Algo::CitrusEbr] {
+            assert!(run_algo(algo, &spec, 1, 13) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Classic user-space RCU with a globally locked `synchronize_rcu`
+//! (the "standard RCU implementation" of the paper's Figure 8).
+//!
+//! This models liburcu's memory-barrier flavor (Desnoyers, McKenney, Stern,
+//! Dagenais, Walpole, *User-level implementations of Read-Copy Update*,
+//! IEEE TPDS 2012):
+//!
+//! * A global *grace-period phase* counter.
+//! * On `rcu_read_lock` a thread copies the current phase into its own
+//!   reader word and sets an active bit.
+//! * `synchronize_rcu` **acquires a global lock**, then runs two phase
+//!   flips; after each flip it waits until every reader is either inactive
+//!   or has observed the new phase.
+//!
+//! The two flips mirror liburcu: a reader may have fetched the old phase
+//! but not yet published its reader word when the first flip happens;
+//! waiting out two phases ensures no reader from before the grace period
+//! survives into it.
+//!
+//! The global lock is the scaling bottleneck the paper identifies: with
+//! many concurrent updaters each executing `synchronize_rcu`, updates
+//! serialize behind this one lock *and* each then waits a full grace
+//! period, so throughput collapses as update concurrency grows (Fig. 8,
+//! left). [`ScalableRcu`](crate::ScalableRcu) removes exactly this
+//! coordination.
+
+use crate::flavor::{RcuFlavor, RcuHandle};
+use citrus_sync::{Backoff, CachePadded, Registry, SlotHandle, SpinMutex};
+use core::cell::Cell;
+use core::fmt;
+use core::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Active bit: the thread is inside a read-side critical section.
+const ACTIVE: u64 = 1;
+/// Phase counter step (phase occupies bits 1..).
+const PHASE_ONE: u64 = 2;
+
+/// One registered thread's reader state: `0` when quiescent, otherwise
+/// `(observed_phase) | ACTIVE` where `observed_phase` is the global phase
+/// value (already shifted, bits 1..) at `rcu_read_lock` time.
+struct ReaderSlot {
+    word: CachePadded<AtomicU64>,
+}
+
+impl ReaderSlot {
+    fn new() -> Self {
+        Self {
+            word: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Classic global-lock user-space RCU domain. See the module-level documentation.
+///
+/// # Example
+///
+/// ```
+/// use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle};
+///
+/// let rcu = GlobalLockRcu::new();
+/// let h = rcu.register();
+/// {
+///     let _g = h.read_lock();
+/// }
+/// h.synchronize();
+/// ```
+pub struct GlobalLockRcu {
+    /// Serializes all `synchronize_rcu` callers — the Fig. 8 bottleneck.
+    gp_lock: SpinMutex<()>,
+    /// Global grace-period phase, in steps of [`PHASE_ONE`].
+    gp_phase: AtomicU64,
+    registry: Registry<ReaderSlot>,
+    grace_periods: AtomicU64,
+}
+
+impl GlobalLockRcu {
+    /// Creates a new domain with no registered threads.
+    pub fn new() -> Self {
+        Self {
+            gp_lock: SpinMutex::new(()),
+            gp_phase: AtomicU64::new(PHASE_ONE),
+            registry: Registry::new(),
+            grace_periods: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for GlobalLockRcu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for GlobalLockRcu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GlobalLockRcu")
+            .field("threads", &self.registry.slot_count())
+            .field("grace_periods", &self.grace_periods())
+            .finish()
+    }
+}
+
+impl RcuFlavor for GlobalLockRcu {
+    type Handle<'a> = GlobalLockRcuHandle<'a>;
+
+    const NAME: &'static str = "rcu-global-lock";
+
+    fn register(&self) -> GlobalLockRcuHandle<'_> {
+        // Released slots always read 0 (quiescent); no reset needed.
+        let slot = self.registry.register(ReaderSlot::new, |_| {});
+        GlobalLockRcuHandle {
+            domain: self,
+            slot,
+            nesting: Cell::new(0),
+        }
+    }
+
+    fn grace_periods(&self) -> u64 {
+        self.grace_periods.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-thread handle for [`GlobalLockRcu`].
+pub struct GlobalLockRcuHandle<'d> {
+    domain: &'d GlobalLockRcu,
+    slot: SlotHandle<'d, ReaderSlot>,
+    nesting: Cell<u32>,
+}
+
+impl RcuHandle for GlobalLockRcuHandle<'_> {
+    #[inline]
+    fn raw_read_lock(&self) {
+        let n = self.nesting.get();
+        self.nesting.set(n + 1);
+        if n == 0 {
+            let phase = self.domain.gp_phase.load(Ordering::Relaxed);
+            self.slot.word.store(phase | ACTIVE, Ordering::Relaxed);
+            // Pair with the synchronizer's fence: it either sees us active,
+            // or we see all its pre-grace-period stores.
+            fence(Ordering::SeqCst);
+        }
+    }
+
+    #[inline]
+    fn raw_read_unlock(&self) {
+        let n = self.nesting.get();
+        debug_assert!(n > 0, "read_unlock without matching read_lock");
+        self.nesting.set(n - 1);
+        if n == 1 {
+            // Order the section's loads before the quiescence signal.
+            fence(Ordering::Release);
+            self.slot.word.store(0, Ordering::Release);
+        }
+    }
+
+    fn synchronize(&self) {
+        debug_assert!(
+            !self.in_read_section(),
+            "synchronize_rcu inside a read-side critical section would self-deadlock"
+        );
+        let domain = self.domain;
+        // === The global lock: all synchronizers serialize here. ===
+        let _gp = domain.gp_lock.lock();
+        fence(Ordering::SeqCst);
+        let own = core::ptr::from_ref::<ReaderSlot>(&self.slot).cast::<u8>();
+        // Two phase flips, as in liburcu: a reader may fetch the phase and
+        // publish its word a moment later, so one flip can miss it; it
+        // cannot survive two.
+        for _ in 0..2 {
+            let new_phase = domain.gp_phase.fetch_add(PHASE_ONE, Ordering::SeqCst) + PHASE_ONE;
+            for slot in domain.registry.iter() {
+                if core::ptr::from_ref::<ReaderSlot>(slot.value()).cast::<u8>() == own {
+                    continue;
+                }
+                let word = &slot.value().word;
+                let backoff = Backoff::new();
+                loop {
+                    let w = word.load(Ordering::Acquire);
+                    // Quiescent, or entered at (or after) the new phase:
+                    // not a pre-existing reader.
+                    if w & ACTIVE == 0 || (w & !ACTIVE) >= new_phase {
+                        break;
+                    }
+                    backoff.snooze();
+                }
+            }
+        }
+        fence(Ordering::SeqCst);
+        domain.grace_periods.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn in_read_section(&self) -> bool {
+        self.nesting.get() > 0
+    }
+}
+
+impl Drop for GlobalLockRcuHandle<'_> {
+    fn drop(&mut self) {
+        assert!(
+            !self.in_read_section(),
+            "RCU handle dropped inside a read-side critical section"
+        );
+    }
+}
+
+impl fmt::Debug for GlobalLockRcuHandle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GlobalLockRcuHandle")
+            .field("nesting", &self.nesting.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    #[test]
+    fn reader_word_carries_phase() {
+        let rcu = GlobalLockRcu::new();
+        let h = rcu.register();
+        h.raw_read_lock();
+        let w = h.slot.word.load(Ordering::Relaxed);
+        assert_eq!(w & ACTIVE, ACTIVE);
+        assert_eq!(w & !ACTIVE, rcu.gp_phase.load(Ordering::Relaxed));
+        h.raw_read_unlock();
+        assert_eq!(h.slot.word.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn synchronize_advances_phase_twice() {
+        let rcu = GlobalLockRcu::new();
+        let h = rcu.register();
+        let before = rcu.gp_phase.load(Ordering::Relaxed);
+        h.synchronize();
+        assert_eq!(
+            rcu.gp_phase.load(Ordering::Relaxed),
+            before + 2 * PHASE_ONE,
+            "liburcu-style grace periods flip the phase twice"
+        );
+    }
+
+    #[test]
+    fn synchronizers_serialize_on_the_global_lock() {
+        // Demonstrates (not just asserts) the Fig. 8 mechanism: while one
+        // synchronizer waits on a reader, a second synchronizer cannot even
+        // start its grace period.
+        let rcu = GlobalLockRcu::new();
+        let reader_in = AtomicBool::new(false);
+        let release_reader = AtomicBool::new(false);
+        let second_done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let h = rcu.register();
+                let g = h.read_lock();
+                reader_in.store(true, Ordering::SeqCst);
+                let backoff = Backoff::new();
+                while !release_reader.load(Ordering::SeqCst) {
+                    backoff.snooze();
+                }
+                drop(g);
+            });
+            s.spawn(|| {
+                let h = rcu.register();
+                let backoff = Backoff::new();
+                while !reader_in.load(Ordering::SeqCst) {
+                    backoff.snooze();
+                }
+                h.synchronize(); // blocks on the reader
+            });
+            s.spawn(|| {
+                let h = rcu.register();
+                let backoff = Backoff::new();
+                while !reader_in.load(Ordering::SeqCst) {
+                    backoff.snooze();
+                }
+                // Give the first synchronizer time to take the lock.
+                std::thread::sleep(Duration::from_millis(50));
+                h.synchronize(); // must wait behind the first one
+                second_done.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(150));
+            assert!(
+                !second_done.load(Ordering::SeqCst),
+                "second synchronizer finished while the first was blocked — no serialization?"
+            );
+            release_reader.store(true, Ordering::SeqCst);
+        });
+        assert!(second_done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let rcu = GlobalLockRcu::new();
+        let h = rcu.register();
+        assert!(format!("{rcu:?}").contains("GlobalLockRcu"));
+        assert!(format!("{h:?}").contains("GlobalLockRcuHandle"));
+    }
+}

@@ -1,0 +1,290 @@
+//! The paper's scalable user-space RCU (§5, "New RCU").
+//!
+//! Each registered thread owns one cache-padded word that packs:
+//!
+//! * bit 0 — the *flag*: `1` while the thread is inside a read-side
+//!   critical section;
+//! * bits 1.. — the *counter*: the number of read-side critical sections
+//!   the thread has started.
+//!
+//! `rcu_read_lock` increments the counter and sets the flag with a single
+//! store; `rcu_read_unlock` clears the flag. `synchronize_rcu` snapshots
+//! every other thread's word and waits, for each thread observed inside a
+//! critical section, until *either the counter has changed or the flag is
+//! clear* — both of which mean the pre-existing section has ended.
+//!
+//! The decisive property (quoting the paper): "multiple threads executing
+//! `synchronize_rcu` need not coordinate among themselves, and they do not
+//! acquire any locks."
+
+use crate::flavor::{RcuFlavor, RcuHandle};
+use citrus_sync::{Backoff, CachePadded, Registry, SlotHandle};
+use core::cell::Cell;
+use core::fmt;
+use core::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Flag bit: thread is inside a read-side critical section.
+const FLAG: u64 = 1;
+/// Counter increment (counter occupies bits 1..).
+const COUNT_ONE: u64 = 2;
+
+/// One registered thread's reader state.
+struct ReaderSlot {
+    /// `(sections_started << 1) | in_section`.
+    word: CachePadded<AtomicU64>,
+}
+
+impl ReaderSlot {
+    fn new() -> Self {
+        Self {
+            word: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The paper's scalable RCU domain. See the module-level documentation.
+///
+/// # Example
+///
+/// ```
+/// use citrus_rcu::{RcuFlavor, RcuHandle, ScalableRcu};
+///
+/// let rcu = ScalableRcu::new();
+/// let h = rcu.register();
+/// {
+///     let _g = h.read_lock();
+///     // ... traverse an RCU-protected structure ...
+/// }
+/// h.synchronize(); // waits for pre-existing readers on all threads
+/// ```
+pub struct ScalableRcu {
+    registry: Registry<ReaderSlot>,
+    grace_periods: AtomicU64,
+}
+
+impl ScalableRcu {
+    /// Creates a new domain with no registered threads.
+    pub fn new() -> Self {
+        Self {
+            registry: Registry::new(),
+            grace_periods: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for ScalableRcu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ScalableRcu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScalableRcu")
+            .field("threads", &self.registry.slot_count())
+            .field("grace_periods", &self.grace_periods())
+            .finish()
+    }
+}
+
+impl RcuFlavor for ScalableRcu {
+    type Handle<'a> = ScalableRcuHandle<'a>;
+
+    const NAME: &'static str = "rcu-scalable";
+
+    fn register(&self) -> ScalableRcuHandle<'_> {
+        // Reuse needs no reset: a released slot always has its flag clear
+        // (handles assert they are outside any read section on drop), and
+        // the counter may continue from its old value — synchronize only
+        // ever compares words for *change*.
+        let slot = self.registry.register(ReaderSlot::new, |_| {});
+        ScalableRcuHandle {
+            domain: self,
+            slot,
+            nesting: Cell::new(0),
+        }
+    }
+
+    fn grace_periods(&self) -> u64 {
+        self.grace_periods.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-thread handle for [`ScalableRcu`].
+pub struct ScalableRcuHandle<'d> {
+    domain: &'d ScalableRcu,
+    slot: SlotHandle<'d, ReaderSlot>,
+    /// Read-side nesting depth; only the outermost level touches `word`.
+    nesting: Cell<u32>,
+}
+
+impl RcuHandle for ScalableRcuHandle<'_> {
+    #[inline]
+    fn raw_read_lock(&self) {
+        let n = self.nesting.get();
+        self.nesting.set(n + 1);
+        if n == 0 {
+            let word = &self.slot.word;
+            // Only this thread stores to its own word, so the update need
+            // not be an RMW.
+            let w = word.load(Ordering::Relaxed);
+            word.store(w.wrapping_add(COUNT_ONE) | FLAG, Ordering::Relaxed);
+            // Order the flag store before the critical section's loads
+            // (paired with the fence at the start of `synchronize`): either
+            // the synchronizer sees our flag, or we see every store it made
+            // before synchronizing.
+            fence(Ordering::SeqCst);
+        }
+    }
+
+    #[inline]
+    fn raw_read_unlock(&self) {
+        let n = self.nesting.get();
+        debug_assert!(n > 0, "read_unlock without matching read_lock");
+        self.nesting.set(n - 1);
+        if n == 1 {
+            let word = &self.slot.word;
+            // Order the critical section's loads before the flag clear, so
+            // a synchronizer that observes the cleared flag knows our reads
+            // of the protected data have completed.
+            fence(Ordering::Release);
+            let w = word.load(Ordering::Relaxed);
+            word.store(w & !FLAG, Ordering::Release);
+        }
+    }
+
+    fn synchronize(&self) {
+        debug_assert!(
+            !self.in_read_section(),
+            "synchronize_rcu inside a read-side critical section would self-deadlock"
+        );
+        // Order the caller's prior stores (e.g. unlinking a node) before the
+        // reader-state scan: any reader that starts after this fence will
+        // observe those stores, so only readers whose flag we see can hold
+        // pre-unlink references.
+        fence(Ordering::SeqCst);
+        let own = core::ptr::from_ref::<ReaderSlot>(&self.slot).cast::<u8>();
+        for slot in self.domain.registry.iter() {
+            // Skip our own slot (we are outside any read section).
+            if core::ptr::from_ref::<ReaderSlot>(slot.value()).cast::<u8>() == own {
+                continue;
+            }
+            let word = &slot.value().word;
+            let snapshot = word.load(Ordering::Acquire);
+            if snapshot & FLAG == 0 {
+                // Not inside a read-side critical section: nothing to wait
+                // for. This also covers released (unclaimed) slots.
+                continue;
+            }
+            // Wait until the thread either increments its counter (started
+            // a *new* section — the pre-existing one is over) or clears its
+            // flag. Any change of the word implies one of the two.
+            let backoff = Backoff::new();
+            while word.load(Ordering::Acquire) == snapshot {
+                backoff.snooze();
+            }
+        }
+        // Pair with readers' release fences: everything their critical
+        // sections read happens-before our return.
+        fence(Ordering::SeqCst);
+        self.domain.grace_periods.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn in_read_section(&self) -> bool {
+        self.nesting.get() > 0
+    }
+}
+
+impl Drop for ScalableRcuHandle<'_> {
+    fn drop(&mut self) {
+        // A handle dropped mid-critical-section would leave its flag set
+        // forever, wedging every future grace period.
+        assert!(
+            !self.in_read_section(),
+            "RCU handle dropped inside a read-side critical section"
+        );
+    }
+}
+
+impl fmt::Debug for ScalableRcuHandle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScalableRcuHandle")
+            .field("nesting", &self.nesting.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor::{RcuFlavor, RcuHandle};
+
+    #[test]
+    fn word_encoding_counts_sections() {
+        let rcu = ScalableRcu::new();
+        let h = rcu.register();
+        let word = &h.slot.word;
+        assert_eq!(word.load(Ordering::Relaxed), 0);
+        h.raw_read_lock();
+        assert_eq!(word.load(Ordering::Relaxed), COUNT_ONE | FLAG);
+        h.raw_read_unlock();
+        assert_eq!(word.load(Ordering::Relaxed), COUNT_ONE);
+        h.raw_read_lock();
+        assert_eq!(word.load(Ordering::Relaxed), (2 * COUNT_ONE) | FLAG);
+        h.raw_read_unlock();
+    }
+
+    #[test]
+    fn nesting_only_outermost_touches_word() {
+        let rcu = ScalableRcu::new();
+        let h = rcu.register();
+        h.raw_read_lock();
+        let after_outer = h.slot.word.load(Ordering::Relaxed);
+        h.raw_read_lock();
+        assert_eq!(h.slot.word.load(Ordering::Relaxed), after_outer);
+        h.raw_read_unlock();
+        assert!(h.in_read_section());
+        assert_eq!(h.slot.word.load(Ordering::Relaxed), after_outer);
+        h.raw_read_unlock();
+        assert!(!h.in_read_section());
+    }
+
+    #[test]
+    fn synchronize_skips_own_released_and_idle_slots() {
+        let rcu = ScalableRcu::new();
+        // A released slot from a past thread.
+        drop(rcu.register());
+        let h = rcu.register();
+        // An idle (registered, not reading) slot.
+        let _idle = rcu.register();
+        h.synchronize(); // must not block
+        assert_eq!(rcu.grace_periods(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped inside a read-side critical section")]
+    fn dropping_handle_in_cs_panics() {
+        let rcu = ScalableRcu::new();
+        let h = rcu.register();
+        h.raw_read_lock();
+        drop(h);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "read_unlock without matching read_lock")]
+    fn unbalanced_unlock_panics_in_debug() {
+        let rcu = ScalableRcu::new();
+        let h = rcu.register();
+        h.raw_read_unlock();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let rcu = ScalableRcu::new();
+        let h = rcu.register();
+        assert!(format!("{rcu:?}").contains("ScalableRcu"));
+        assert!(format!("{h:?}").contains("ScalableRcuHandle"));
+    }
+}

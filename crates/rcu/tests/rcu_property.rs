@@ -1,0 +1,182 @@
+//! Direct tests of the RCU property (paper Figure 2) and the flavor
+//! implementations' structural behavior, beyond the in-crate unit tests.
+
+use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle, ScalableRcu};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// `synchronize` must NOT wait for read-side sections that start after it
+/// was invoked: with a thread continuously entering fresh sections, a
+/// grace period must still complete quickly.
+fn synchronize_does_not_wait_for_future_readers<F: RcuFlavor>(rcu: &F) {
+    let stop = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let h = rcu.register();
+            while stop.load(Ordering::Relaxed) == 0 {
+                let _g = h.read_lock();
+                // Hold each section briefly so there is almost always a
+                // *current* reader.
+                std::hint::spin_loop();
+            }
+        });
+        s.spawn(|| {
+            let h = rcu.register();
+            let start = Instant::now();
+            for _ in 0..200 {
+                h.synchronize();
+            }
+            let elapsed = start.elapsed();
+            stop.store(1, Ordering::Relaxed);
+            assert!(
+                elapsed < Duration::from_secs(30),
+                "grace periods starved by future readers ({elapsed:?})"
+            );
+        });
+    });
+}
+
+#[test]
+fn no_future_reader_wait_scalable() {
+    synchronize_does_not_wait_for_future_readers(&ScalableRcu::new());
+}
+
+#[test]
+fn no_future_reader_wait_global_lock() {
+    synchronize_does_not_wait_for_future_readers(&GlobalLockRcu::new());
+}
+
+/// The full ordering property, observed through data: a writer retires the
+/// value it unpublished and records the set of "live" values; readers
+/// record every value they observe inside a section. No reader may observe
+/// a value that was retired before its section started.
+fn ordering_property<F: RcuFlavor>(rcu: &F) {
+    use std::sync::atomic::AtomicUsize;
+    const SLOTS: usize = 4;
+    const WRITES: usize = 1_000;
+    // Value published at index i is i; `retired_before[v]` is the highest
+    // grace-period index at which v was still published.
+    let current = AtomicUsize::new(0);
+    let gp_count = AtomicU64::new(0);
+    let retire_log = Mutex::new(vec![u64::MAX; WRITES + SLOTS]);
+    let barrier = Barrier::new(3);
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let (current, gp_count, retire_log, barrier) =
+                (&current, &gp_count, &retire_log, &barrier);
+            s.spawn(move || {
+                let h = rcu.register();
+                barrier.wait();
+                loop {
+                    let g = h.read_lock();
+                    let seen = current.load(Ordering::Acquire);
+                    let gp_at_read = gp_count.load(Ordering::Acquire);
+                    drop(g);
+                    if seen >= WRITES {
+                        break;
+                    }
+                    // The value we saw must not have been retired before
+                    // our section could have started.
+                    let retired_at = retire_log.lock().unwrap()[seen];
+                    if retired_at != u64::MAX {
+                        assert!(
+                            retired_at + 1 >= gp_at_read,
+                            "observed value {seen} retired at gp {retired_at}, read at gp {gp_at_read}"
+                        );
+                    }
+                }
+            });
+        }
+        {
+            let (current, gp_count, retire_log, barrier) =
+                (&current, &gp_count, &retire_log, &barrier);
+            s.spawn(move || {
+                let h = rcu.register();
+                barrier.wait();
+                for i in 1..=WRITES {
+                    let old = current.swap(i, Ordering::AcqRel);
+                    h.synchronize();
+                    let gp = gp_count.fetch_add(1, Ordering::AcqRel);
+                    retire_log.lock().unwrap()[old] = gp;
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn ordering_property_scalable() {
+    ordering_property(&ScalableRcu::new());
+}
+
+#[test]
+fn ordering_property_global_lock() {
+    ordering_property(&GlobalLockRcu::new());
+}
+
+/// Handles from many short-lived threads reuse registry slots rather than
+/// growing without bound, and grace periods keep completing throughout.
+fn slot_reuse_under_thread_churn<F: RcuFlavor>(rcu: &F) {
+    for batch in 0..20 {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let h = rcu.register();
+                    for _ in 0..50 {
+                        let _g = h.read_lock();
+                    }
+                    h.synchronize();
+                });
+            }
+        });
+        let h = rcu.register();
+        h.synchronize();
+        drop(h);
+        let _ = batch;
+    }
+    assert!(rcu.grace_periods() >= 20);
+}
+
+#[test]
+fn slot_reuse_scalable() {
+    slot_reuse_under_thread_churn(&ScalableRcu::new());
+}
+
+#[test]
+fn slot_reuse_global_lock() {
+    slot_reuse_under_thread_churn(&GlobalLockRcu::new());
+}
+
+/// Two independent domains never synchronize with each other: a reader
+/// parked inside domain A must not block grace periods of domain B.
+#[test]
+fn domains_are_independent() {
+    let a = ScalableRcu::new();
+    let b = ScalableRcu::new();
+    let ha = a.register();
+    let hb = b.register();
+    let _ga = ha.read_lock();
+    // B's grace period completes although A has an active reader.
+    hb.synchronize();
+    assert_eq!(b.grace_periods(), 1);
+    assert_eq!(a.grace_periods(), 0);
+}
+
+/// Guards are plain RAII: dropping out of order with other locals is fine,
+/// and nested guards from the same handle unwind correctly.
+#[test]
+fn guard_nesting_unwinds() {
+    let rcu = ScalableRcu::new();
+    let h = rcu.register();
+    let g1 = h.read_lock();
+    let g2 = h.read_lock();
+    let g3 = h.read_lock();
+    drop(g2);
+    assert!(h.in_read_section());
+    drop(g1);
+    assert!(h.in_read_section());
+    drop(g3);
+    assert!(!h.in_read_section());
+}

@@ -1,0 +1,304 @@
+//! Spin-then-yield mutual exclusion.
+//!
+//! The Citrus tree acquires a lock per modified node (`lock(prev)`,
+//! `lock(curr)`, ...). Nodes are small and numerous, so the lock must be a
+//! single byte of state embedded in the node — not a pointer to a heap
+//! allocation, and not a platform mutex dragging a futex word plus queue
+//! state into every node. [`RawSpinLock`] is that embedded lock;
+//! [`SpinMutex`] wraps it with data and RAII for general use.
+
+use crate::Backoff;
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+use core::sync::atomic::{AtomicBool, Ordering};
+
+/// A one-byte test-and-test-and-set spin lock with yield fallback.
+///
+/// This is the per-node lock of the reproduction's data structures. It
+/// deliberately exposes a *raw* interface — [`lock`](Self::lock) and an
+/// unsafe [`unlock`](Self::unlock) — because the Citrus `delete` operation
+/// acquires up to five node locks and releases them together ("release all
+/// locks"), which does not nest like RAII guards.
+///
+/// # Example
+///
+/// ```
+/// use citrus_sync::RawSpinLock;
+///
+/// let lock = RawSpinLock::new();
+/// lock.lock();
+/// // ... exclusive section ...
+/// unsafe { lock.unlock() }; // safety: we hold the lock
+/// ```
+pub struct RawSpinLock {
+    locked: AtomicBool,
+}
+
+impl RawSpinLock {
+    /// Creates a new unlocked lock.
+    pub const fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// Acquires the lock, spinning briefly and then yielding.
+    #[inline]
+    pub fn lock(&self) {
+        if self.try_lock() {
+            return;
+        }
+        self.lock_slow();
+    }
+
+    #[cold]
+    fn lock_slow(&self) {
+        let backoff = Backoff::new();
+        loop {
+            // Test-and-test-and-set: spin on a plain load so waiting threads
+            // do not bounce the cache line with failed RMW attempts.
+            while self.locked.load(Ordering::Relaxed) {
+                backoff.snooze();
+            }
+            if self.try_lock() {
+                return;
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    ///
+    /// Returns `true` on success.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Safety
+    ///
+    /// The calling thread must currently hold this lock (a matching
+    /// [`lock`](Self::lock) or successful [`try_lock`](Self::try_lock) with
+    /// no intervening `unlock`).
+    #[inline]
+    pub unsafe fn unlock(&self) {
+        debug_assert!(self.locked.load(Ordering::Relaxed));
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Returns `true` if the lock is currently held by some thread.
+    ///
+    /// Only a hint: the answer may be stale by the time it is observed.
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for RawSpinLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for RawSpinLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RawSpinLock")
+            .field("locked", &self.is_locked())
+            .finish()
+    }
+}
+
+/// A mutex built on [`RawSpinLock`] that owns its data and hands out RAII
+/// guards.
+///
+/// Used for cold-path bookkeeping (graveyards, registries) where the
+/// convenience of a guard outweighs the raw interface.
+///
+/// # Example
+///
+/// ```
+/// use citrus_sync::SpinMutex;
+///
+/// let m = SpinMutex::new(vec![1, 2]);
+/// m.lock().push(3);
+/// assert_eq!(m.lock().len(), 3);
+/// ```
+pub struct SpinMutex<T: ?Sized> {
+    raw: RawSpinLock,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: SpinMutex provides exclusive access to `T` via the lock protocol,
+// so sharing the mutex across threads is safe whenever sending `T` is.
+unsafe impl<T: ?Sized + Send> Send for SpinMutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for SpinMutex<T> {}
+
+impl<T> SpinMutex<T> {
+    /// Creates a new mutex holding `data`.
+    pub const fn new(data: T) -> Self {
+        Self {
+            raw: RawSpinLock::new(),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner data.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> SpinMutex<T> {
+    /// Acquires the mutex, blocking (spin-then-yield) until available.
+    pub fn lock(&self) -> SpinMutexGuard<'_, T> {
+        self.raw.lock();
+        SpinMutexGuard { mutex: self }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<SpinMutexGuard<'_, T>> {
+        if self.raw.try_lock() {
+            Some(SpinMutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Returns a mutable reference to the data without locking.
+    ///
+    /// Safe because `&mut self` proves no other thread holds the mutex.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SpinMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("SpinMutex").field("data", &*guard).finish(),
+            None => f.debug_struct("SpinMutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: Default> Default for SpinMutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// RAII guard for [`SpinMutex`]; releases the lock on drop.
+pub struct SpinMutexGuard<'a, T: ?Sized> {
+    mutex: &'a SpinMutex<T>,
+}
+
+impl<T: ?Sized> Deref for SpinMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves the lock is held, giving exclusive access.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for SpinMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for SpinMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the guard's existence proves this thread holds the lock.
+        unsafe { self.mutex.raw.unlock() }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for SpinMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn raw_lock_unlock() {
+        let l = RawSpinLock::new();
+        assert!(!l.is_locked());
+        l.lock();
+        assert!(l.is_locked());
+        assert!(!l.try_lock());
+        unsafe { l.unlock() };
+        assert!(!l.is_locked());
+        assert!(l.try_lock());
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn mutex_guards_data() {
+        let m = SpinMutex::new(5);
+        {
+            let mut g = m.lock();
+            *g = 6;
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn mutex_counts_under_contention() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        let m = Arc::new(SpinMutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), (THREADS * PER_THREAD) as u64);
+    }
+
+    #[test]
+    fn get_mut_bypasses_lock() {
+        let mut m = SpinMutex::new(1);
+        *m.get_mut() = 2;
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn debug_shows_data_or_locked() {
+        let m = SpinMutex::new(3);
+        assert!(format!("{m:?}").contains('3'));
+        let _g = m.lock();
+        assert!(format!("{m:?}").contains("locked"));
+    }
+
+    #[test]
+    fn raw_lock_is_one_byte() {
+        assert_eq!(core::mem::size_of::<RawSpinLock>(), 1);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RawSpinLock>();
+        assert_send_sync::<SpinMutex<u64>>();
+    }
+}

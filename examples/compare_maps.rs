@@ -1,0 +1,67 @@
+//! Head-to-head mini-benchmark of all six dictionaries from the paper's
+//! evaluation, on one workload point — a taste of Figure 10 without the
+//! full sweep.
+//!
+//! Run with `cargo run --release --example compare_maps`.
+//! Tune with `CITRUS_DURATION_MS`, `CITRUS_THREADS` (first value used).
+
+use citrus_harness::{run_throughput, Algo, BenchConfig, OpMix, WorkloadSpec};
+use citrus_repro::prelude::*;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let threads = cfg.threads.first().copied().unwrap_or(4).max(2);
+    let spec = WorkloadSpec::new(
+        cfg.range_small,
+        OpMix::with_contains(90),
+        threads,
+        cfg.duration.max(std::time::Duration::from_millis(200)),
+    );
+    println!(
+        "workload: {} threads, 90% contains / 5% insert / 5% delete, key range [0,{}), {:?}\n",
+        spec.threads, spec.key_range, spec.duration
+    );
+    println!("{:<26}{:>14}", "structure", "ops/s");
+
+    // Drive each structure directly through the common trait — the same
+    // monomorphized loop the real harness uses.
+    let results: Vec<(&str, f64)> = vec![
+        (Algo::Citrus.label(), {
+            let m: CitrusTree<u64, u64> = CitrusTree::with_reclaim(ReclaimMode::Leak);
+            run_throughput(&m, &spec, 1).throughput()
+        }),
+        (Algo::Avl.label(), {
+            let m: OptimisticAvlTree<u64, u64> = OptimisticAvlTree::new();
+            run_throughput(&m, &spec, 1).throughput()
+        }),
+        (Algo::Skiplist.label(), {
+            let m: LazySkipList<u64, u64> = LazySkipList::new();
+            run_throughput(&m, &spec, 1).throughput()
+        }),
+        (Algo::LockFree.label(), {
+            let m: LockFreeBst<u64, u64> = LockFreeBst::new();
+            run_throughput(&m, &spec, 1).throughput()
+        }),
+        (Algo::Rbtree.label(), {
+            let m: RelativisticRbTree<u64, u64> = RelativisticRbTree::new();
+            run_throughput(&m, &spec, 1).throughput()
+        }),
+        (Algo::Bonsai.label(), {
+            let m: BonsaiTree<u64, u64> = BonsaiTree::new();
+            run_throughput(&m, &spec, 1).throughput()
+        }),
+    ];
+
+    let best = results
+        .iter()
+        .map(|(_, t)| *t)
+        .fold(f64::MIN, f64::max);
+    for (name, tp) in &results {
+        let marker = if (*tp - best).abs() < f64::EPSILON { "  ◀ best" } else { "" };
+        println!("{name:<26}{tp:>14.0}{marker}");
+    }
+    println!(
+        "\n(one point, short run — run the fig9/fig10 binaries in citrus-bench for\n\
+         the full sweeps; CITRUS_PAPER=1 for the paper's parameters)"
+    );
+}

@@ -1,0 +1,76 @@
+//! All six structures, fed the same deterministic operation stream, must
+//! produce identical return values and identical final contents — a
+//! differential test that catches semantic drift between implementations.
+
+use citrus_repro::citrus_api::testkit::SplitMix64;
+use citrus_repro::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Inserted(bool),
+    Removed(bool),
+    Got(Option<u64>),
+}
+
+fn trace<M: ConcurrentMap<u64, u64>>(map: &M, ops: usize, range: u64, seed: u64) -> Vec<Outcome> {
+    let mut rng = SplitMix64::new(seed);
+    let mut s = map.session();
+    let mut out = Vec::with_capacity(ops + range as usize);
+    for _ in 0..ops {
+        let k = rng.below(range);
+        match rng.below(3) {
+            0 => out.push(Outcome::Inserted(s.insert(k, k * 3 + 1))),
+            1 => out.push(Outcome::Removed(s.remove(&k))),
+            _ => out.push(Outcome::Got(s.get(&k))),
+        }
+    }
+    for k in 0..range {
+        out.push(Outcome::Got(s.get(&k)));
+    }
+    out
+}
+
+#[test]
+fn identical_traces_across_all_structures() {
+    const OPS: usize = 8_000;
+    const RANGE: u64 = 512;
+    const SEED: u64 = 0xD1FF;
+
+    let reference = trace(
+        &CitrusTree::<u64, u64>::with_reclaim(ReclaimMode::Epoch),
+        OPS,
+        RANGE,
+        SEED,
+    );
+
+    let citrus_leak = trace(
+        &CitrusTree::<u64, u64>::with_reclaim(ReclaimMode::Leak),
+        OPS,
+        RANGE,
+        SEED,
+    );
+    assert_eq!(reference, citrus_leak, "citrus leak-mode diverged");
+
+    let citrus_std = trace(
+        &CitrusTree::<u64, u64, GlobalLockRcu>::new(),
+        OPS,
+        RANGE,
+        SEED,
+    );
+    assert_eq!(reference, citrus_std, "citrus global-lock-RCU diverged");
+
+    let avl = trace(&OptimisticAvlTree::<u64, u64>::new(), OPS, RANGE, SEED);
+    assert_eq!(reference, avl, "AVL diverged");
+
+    let skiplist = trace(&LazySkipList::<u64, u64>::new(), OPS, RANGE, SEED);
+    assert_eq!(reference, skiplist, "skiplist diverged");
+
+    let lockfree = trace(&LockFreeBst::<u64, u64>::new(), OPS, RANGE, SEED);
+    assert_eq!(reference, lockfree, "lock-free BST diverged");
+
+    let rbtree = trace(&RelativisticRbTree::<u64, u64>::new(), OPS, RANGE, SEED);
+    assert_eq!(reference, rbtree, "red-black tree diverged");
+
+    let bonsai = trace(&BonsaiTree::<u64, u64>::new(), OPS, RANGE, SEED);
+    assert_eq!(reference, bonsai, "bonsai diverged");
+}
