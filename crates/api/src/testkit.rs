@@ -19,8 +19,14 @@
 //!
 //! All randomness comes from a deterministic [`SplitMix64`] so failures
 //! reproduce.
+//!
+//! When a structure exposes internal metrics (the `stats` feature of
+//! `citrus-obs`), [`check_counter_dominates`] turns a
+//! [`MetricsSnapshot`] into an invariant assertion — e.g. the RCU flavor
+//! must have run at least one grace period per two-child delete.
 
 use crate::{ConcurrentMap, MapSession};
+use citrus_obs::MetricsSnapshot;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -146,7 +152,11 @@ pub fn check_duplicate_inserts<M: ConcurrentMap<u64, u64>>(map: &M) {
     s.remove(&KEY);
     assert!(s.insert(KEY, 100), "fresh insert must succeed");
     assert!(!s.insert(KEY, 200), "duplicate insert must fail");
-    assert_eq!(s.get(&KEY), Some(100), "duplicate insert must not overwrite");
+    assert_eq!(
+        s.get(&KEY),
+        Some(100),
+        "duplicate insert must not overwrite"
+    );
     assert!(s.remove(&KEY));
     assert!(!s.remove(&KEY), "double remove must fail");
     assert!(s.insert(KEY, 300), "reinsert after remove must succeed");
@@ -160,11 +170,7 @@ pub fn check_duplicate_inserts<M: ConcurrentMap<u64, u64>>(map: &M) {
 /// # Panics
 ///
 /// Panics if any update is lost or any phantom key appears.
-pub fn check_lost_updates<M: ConcurrentMap<u64, u64>>(
-    map: &M,
-    threads: u64,
-    keys_per_thread: u64,
-) {
+pub fn check_lost_updates<M: ConcurrentMap<u64, u64>>(map: &M, threads: u64, keys_per_thread: u64) {
     let barrier = Barrier::new(threads as usize);
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -379,6 +385,67 @@ pub fn check_insert_grants_exclusivity<M: ConcurrentMap<u64, u64>>(
     assert_eq!(s.get(&KEY), None, "key must be free after all releases");
 }
 
+/// Asserts that counter `dominant` ≥ counter `dominated` in a metrics
+/// snapshot; both are addressed as `(component, metric)` pairs.
+///
+/// This encodes cross-layer invariants that only hold if the layers are
+/// wired correctly — e.g. every two-child delete in the Citrus tree calls
+/// `synchronize_rcu` exactly once, so the RCU flavor's grace-period count
+/// must dominate the tree's recorded synchronize calls.
+///
+/// An **empty** snapshot (a `stats`-less build collects nothing) passes
+/// vacuously, so callers need no feature gates.
+///
+/// # Example
+///
+/// ```
+/// use citrus_api::testkit::check_counter_dominates;
+/// use citrus_obs::MetricsSnapshot;
+///
+/// // Empty snapshot (stats off): vacuously fine.
+/// check_counter_dominates(
+///     &MetricsSnapshot::default(),
+///     ("rcu", "synchronize_calls"),
+///     ("citrus", "synchronize_calls"),
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics if either counter is missing from a non-empty snapshot, or if
+/// `dominant < dominated`.
+pub fn check_counter_dominates(
+    snapshot: &MetricsSnapshot,
+    dominant: (&str, &str),
+    dominated: (&str, &str),
+) {
+    if snapshot.is_empty() {
+        return;
+    }
+    let hi = snapshot.counter(dominant.0, dominant.1).unwrap_or_else(|| {
+        panic!(
+            "counter {}/{} missing from snapshot",
+            dominant.0, dominant.1
+        )
+    });
+    let lo = snapshot
+        .counter(dominated.0, dominated.1)
+        .unwrap_or_else(|| {
+            panic!(
+                "counter {}/{} missing from snapshot",
+                dominated.0, dominated.1
+            )
+        });
+    assert!(
+        hi >= lo,
+        "invariant violated: {}/{} = {hi} must be >= {}/{} = {lo}",
+        dominant.0,
+        dominant.1,
+        dominated.0,
+        dominated.1,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,5 +491,45 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn below_zero_panics() {
         SplitMix64::new(5).below(0);
+    }
+
+    use citrus_obs::{MetricEntry, MetricValue};
+
+    fn snapshot_with(counters: &[(&str, &str, u64)]) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: counters
+                .iter()
+                .map(|&(component, name, n)| MetricEntry {
+                    component: component.to_string(),
+                    name: name.to_string(),
+                    value: MetricValue::Count(n),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn dominance_holds() {
+        let snap = snapshot_with(&[("rcu", "gp", 7), ("citrus", "sync", 7)]);
+        check_counter_dominates(&snap, ("rcu", "gp"), ("citrus", "sync"));
+    }
+
+    #[test]
+    fn dominance_on_empty_snapshot_is_vacuous() {
+        check_counter_dominates(&MetricsSnapshot::default(), ("a", "b"), ("c", "d"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated")]
+    fn dominance_violation_panics() {
+        let snap = snapshot_with(&[("rcu", "gp", 3), ("citrus", "sync", 7)]);
+        check_counter_dominates(&snap, ("rcu", "gp"), ("citrus", "sync"));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from snapshot")]
+    fn missing_counter_panics() {
+        let snap = snapshot_with(&[("rcu", "gp", 3)]);
+        check_counter_dominates(&snap, ("rcu", "gp"), ("citrus", "sync"));
     }
 }

@@ -62,7 +62,10 @@ impl<K, V> AvlNode<K, V> {
             value: AtomicPtr::new(value),
             version: AtomicU64::new(0),
             height: AtomicI32::new(1),
-            child: [AtomicPtr::new(ptr::null_mut()), AtomicPtr::new(ptr::null_mut())],
+            child: [
+                AtomicPtr::new(ptr::null_mut()),
+                AtomicPtr::new(ptr::null_mut()),
+            ],
             parent: AtomicPtr::new(parent),
             lock: RawSpinLock::new(),
         }))
@@ -456,9 +459,7 @@ where
 
                 // Unlink a routing node with ≤1 child (partially external
                 // cleanup).
-                if (*node).value.load(Ordering::Acquire).is_null()
-                    && (l.is_null() || r.is_null())
-                {
+                if (*node).value.load(Ordering::Acquire).is_null() && (l.is_null() || r.is_null()) {
                     let c = if l.is_null() { r } else { l };
                     let d = Self::dir_of(p, node).expect("validated above");
                     (*p).child[d].store(c, Ordering::Release);

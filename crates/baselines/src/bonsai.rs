@@ -118,7 +118,13 @@ where
     }
 
     /// Allocates a node (recording it in the arena) with computed size.
-    fn node(&self, key: K, value: V, left: *mut BNode<K, V>, right: *mut BNode<K, V>) -> *mut BNode<K, V> {
+    fn node(
+        &self,
+        key: K,
+        value: V,
+        left: *mut BNode<K, V>,
+        right: *mut BNode<K, V>,
+    ) -> *mut BNode<K, V> {
         let n = Box::into_raw(Box::new(BNode {
             key,
             value,
@@ -152,8 +158,7 @@ where
                 } else {
                     // Double left rotation (rl is non-null here).
                     let new_l = self.node(k, v, l, (*rl).left);
-                    let new_r =
-                        self.node((*r).key.clone(), (*r).value.clone(), (*rl).right, rr);
+                    let new_r = self.node((*r).key.clone(), (*r).value.clone(), (*rl).right, rr);
                     self.node((*rl).key.clone(), (*rl).value.clone(), new_l, new_r)
                 }
             } else if ls > DELTA * rs {
@@ -185,12 +190,12 @@ where
         unsafe {
             match key.cmp(&(*t).key) {
                 CmpOrdering::Equal => None,
-                CmpOrdering::Less => self.ins((*t).left, key, value).map(|l| {
-                    self.balance((*t).key.clone(), (*t).value.clone(), l, (*t).right)
-                }),
-                CmpOrdering::Greater => self.ins((*t).right, key, value).map(|r| {
-                    self.balance((*t).key.clone(), (*t).value.clone(), (*t).left, r)
-                }),
+                CmpOrdering::Less => self
+                    .ins((*t).left, key, value)
+                    .map(|l| self.balance((*t).key.clone(), (*t).value.clone(), l, (*t).right)),
+                CmpOrdering::Greater => self
+                    .ins((*t).right, key, value)
+                    .map(|r| self.balance((*t).key.clone(), (*t).value.clone(), (*t).left, r)),
             }
         }
     }
@@ -234,12 +239,12 @@ where
         unsafe {
             match key.cmp(&(*t).key) {
                 CmpOrdering::Equal => Some(self.glue((*t).left, (*t).right)),
-                CmpOrdering::Less => self.del((*t).left, key).map(|l| {
-                    self.balance((*t).key.clone(), (*t).value.clone(), l, (*t).right)
-                }),
-                CmpOrdering::Greater => self.del((*t).right, key).map(|r| {
-                    self.balance((*t).key.clone(), (*t).value.clone(), (*t).left, r)
-                }),
+                CmpOrdering::Less => self
+                    .del((*t).left, key)
+                    .map(|l| self.balance((*t).key.clone(), (*t).value.clone(), l, (*t).right)),
+                CmpOrdering::Greater => self
+                    .del((*t).right, key)
+                    .map(|r| self.balance((*t).key.clone(), (*t).value.clone(), (*t).left, r)),
             }
         }
     }

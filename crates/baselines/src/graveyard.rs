@@ -80,7 +80,9 @@ impl<T> Drop for Graveyard<T> {
 
 impl<T> fmt::Debug for Graveyard<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Graveyard").field("len", &self.len()).finish()
+        f.debug_struct("Graveyard")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -215,7 +215,8 @@ where
             let mut ancestor = r;
             let mut successor = ptr_of::<K, V>((*r).child[0].load(Ordering::Acquire));
             let mut parent = successor;
-            let mut edge_word = (*successor).child[Self::dir(&*successor, key)].load(Ordering::Acquire);
+            let mut edge_word =
+                (*successor).child[Self::dir(&*successor, key)].load(Ordering::Acquire);
             let mut current = ptr_of::<K, V>(edge_word);
             while (*current).is_internal() {
                 if tag_of(edge_word) == 0 {
@@ -250,12 +251,11 @@ where
             // If the edge to the key's leaf is flagged, the sibling
             // survives; otherwise the delete being helped flagged the
             // *sibling* edge, and the key's own branch survives.
-            let pinned_dir =
-                if flag_of(parent.child[child_dir].load(Ordering::Acquire)) != 0 {
-                    sibling_dir
-                } else {
-                    child_dir
-                };
+            let pinned_dir = if flag_of(parent.child[child_dir].load(Ordering::Acquire)) != 0 {
+                sibling_dir
+            } else {
+                child_dir
+            };
 
             // Pin the surviving edge so it cannot change during the splice.
             let sibling_word = parent.child[pinned_dir].fetch_or(TAG, Ordering::AcqRel) | TAG;
@@ -304,8 +304,10 @@ where
                 let parent = &*s.parent;
                 let dir = Self::dir(parent, &key);
                 let expected = s.leaf as usize; // clean edge
-                let new_leaf =
-                    NmNode::leaf(NmKey::Key(key.clone()), Some(payload.take().expect("one shot")));
+                let new_leaf = NmNode::leaf(
+                    NmKey::Key(key.clone()),
+                    Some(payload.take().expect("one shot")),
+                );
                 // Order the two leaves under a fresh routing node.
                 let new_internal = if leaf.key.search_goes_left(&key) {
                     // key < leaf.key: routing key is leaf.key; key goes left.

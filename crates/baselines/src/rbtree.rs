@@ -214,8 +214,16 @@ where
                 (*x).key.clone(),
                 (*x).value.clone(),
                 Self::color(x),
-                if toward == L { Self::child(x, L) } else { y_inner },
-                if toward == L { y_inner } else { Self::child(x, R) },
+                if toward == L {
+                    Self::child(x, L)
+                } else {
+                    y_inner
+                },
+                if toward == L {
+                    y_inner
+                } else {
+                    Self::child(x, R)
+                },
                 y,
             );
             for d in [L, R] {
@@ -288,9 +296,7 @@ where
                 p = self.rotate(p, dir);
                 w = Self::child(p, other);
             }
-            if Self::color(Self::child(w, L)) == BLACK
-                && Self::color(Self::child(w, R)) == BLACK
-            {
+            if Self::color(Self::child(w, L)) == BLACK && Self::color(Self::child(w, R)) == BLACK {
                 // Case 2: push the extra black up.
                 Self::set_color(w, RED);
                 x = p;

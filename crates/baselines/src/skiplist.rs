@@ -382,8 +382,10 @@ where
                     continue;
                 }
                 for lv in (0..=top).rev() {
-                    (&(*preds[lv]).next)[lv]
-                        .store((&(*victim).next)[lv].load(Ordering::Acquire), Ordering::Release);
+                    (&(*preds[lv]).next)[lv].store(
+                        (&(*victim).next)[lv].load(Ordering::Acquire),
+                        Ordering::Release,
+                    );
                 }
                 (*victim).lock.unlock();
                 for p in locked.drain(..).rev() {

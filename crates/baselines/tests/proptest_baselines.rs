@@ -47,7 +47,14 @@ fn run_against_model<M: ConcurrentMap<u64, u64>>(map: &M, ops: &[Op]) -> Result<
             Op::Remove(k) => {
                 let k = u64::from(k);
                 let expected = model.remove(&k).is_some();
-                prop_assert_eq!(s.remove(&k), expected, "{}: op {} remove({})", M::NAME, i, k);
+                prop_assert_eq!(
+                    s.remove(&k),
+                    expected,
+                    "{}: op {} remove({})",
+                    M::NAME,
+                    i,
+                    k
+                );
             }
             Op::Get(k) => {
                 let k = u64::from(k);

@@ -1,52 +1,39 @@
-//! Criterion micro-benchmarks for the RCU primitives: read-side
-//! enter/exit cost and solo `synchronize_rcu` latency, per flavor.
+//! `cargo bench --bench rcu_micro` — micro-benchmarks for the RCU
+//! primitives: read-side enter/exit cost and solo `synchronize_rcu`
+//! latency, per flavor. Plain-main bench target (no external harness);
+//! the binary `rcu_micro` additionally measures contended synchronize
+//! rates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle, ScalableRcu};
+use std::time::Instant;
 
-fn bench_read_side(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rcu_read_side");
-    {
-        let rcu = ScalableRcu::new();
-        let h = rcu.register();
-        group.bench_function(ScalableRcu::NAME, |b| {
-            b.iter(|| {
-                let g = h.read_lock();
-                std::hint::black_box(&g);
-            })
-        });
+fn bench_ns(label: &str, iters: u32, mut f: impl FnMut()) {
+    // One warmup pass, then the timed pass.
+    for _ in 0..iters / 10 {
+        f();
     }
-    {
-        let rcu = GlobalLockRcu::new();
-        let h = rcu.register();
-        group.bench_function(GlobalLockRcu::NAME, |b| {
-            b.iter(|| {
-                let g = h.read_lock();
-                std::hint::black_box(&g);
-            })
-        });
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
     }
-    group.finish();
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    println!("  {label:<42} {ns:>8.1} ns/op");
 }
 
-fn bench_synchronize_solo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rcu_synchronize_solo");
-    {
-        let rcu = ScalableRcu::new();
-        let h = rcu.register();
-        group.bench_function(ScalableRcu::NAME, |b| b.iter(|| h.synchronize()));
-    }
-    {
-        let rcu = GlobalLockRcu::new();
-        let h = rcu.register();
-        group.bench_function(GlobalLockRcu::NAME, |b| b.iter(|| h.synchronize()));
-    }
-    group.finish();
+fn bench_flavor<F: RcuFlavor>() {
+    let rcu = F::new();
+    let h = rcu.register();
+    bench_ns(&format!("{} read_lock+unlock", F::NAME), 2_000_000, || {
+        let g = h.read_lock();
+        std::hint::black_box(&g);
+    });
+    bench_ns(&format!("{} synchronize (solo)", F::NAME), 200_000, || {
+        h.synchronize();
+    });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_read_side, bench_synchronize_solo
+fn main() {
+    println!("=== RCU micro-benchmarks (bench target) ===\n");
+    bench_flavor::<ScalableRcu>();
+    bench_flavor::<GlobalLockRcu>();
 }
-criterion_main!(benches);

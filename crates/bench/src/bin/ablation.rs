@@ -1,7 +1,7 @@
 //! Ablation benches for the design decisions called out in DESIGN.md:
 //!
 //! * **D1** — per-node lock choice: our one-byte spin-then-yield lock vs
-//!   `parking_lot::Mutex` (acquire/release cost, uncontended).
+//!   `std::sync::Mutex` (acquire/release cost, uncontended).
 //! * **D2** — scalable-RCU reader word: single packed word + fence vs two
 //!   separate stores + fence.
 //! * **D3** — reclamation: Citrus in `Leak` mode (paper methodology) vs
@@ -32,14 +32,14 @@ fn main() {
         // SAFETY: just acquired above.
         unsafe { spin.unlock() };
     });
-    let pl = parking_lot::Mutex::new(());
-    bench_ns("parking_lot::Mutex", 2_000_000, || {
-        drop(pl.lock());
+    let std_mutex = std::sync::Mutex::new(());
+    bench_ns("std::sync::Mutex", 2_000_000, || {
+        drop(std_mutex.lock().unwrap());
     });
     println!(
-        "  (size: RawSpinLock = {} B, parking_lot::Mutex<()> = {} B per node)\n",
+        "  (size: RawSpinLock = {} B, std::sync::Mutex<()> = {} B per node)\n",
         core::mem::size_of::<RawSpinLock>(),
-        core::mem::size_of::<parking_lot::Mutex<()>>()
+        core::mem::size_of::<std::sync::Mutex<()>>()
     );
 
     println!("D2 — scalable-RCU reader fast path:");
@@ -47,12 +47,16 @@ fn main() {
     // proven non-escaping and elided.
     let word = Box::new(AtomicU64::new(0));
     let word = std::hint::black_box(&*word);
-    bench_ns("packed (counter|flag) word + SeqCst fence", 2_000_000, || {
-        let w = word.load(Ordering::Relaxed);
-        word.store(w.wrapping_add(2) | 1, Ordering::Relaxed);
-        fence(Ordering::SeqCst);
-        word.store(w & !1, Ordering::Release);
-    });
+    bench_ns(
+        "packed (counter|flag) word + SeqCst fence",
+        2_000_000,
+        || {
+            let w = word.load(Ordering::Relaxed);
+            word.store(w.wrapping_add(2) | 1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            word.store(w & !1, Ordering::Release);
+        },
+    );
     let counter = Box::new(AtomicU64::new(0));
     let counter = std::hint::black_box(&*counter);
     let flag = Box::new(AtomicU64::new(0));

@@ -1,12 +1,12 @@
 //! Regenerates **Figure 10**: the 2×3 grid — key range {small, large} ×
 //! contains {100%, 98%, 50%} — for all six algorithms.
 
-use citrus_bench::{banner, emit};
-use citrus_harness::{experiments, BenchConfig};
+use citrus_bench::{banner, config_from_env_and_args, emit};
+use citrus_harness::experiments;
 
 fn main() {
     banner("Figure 10 — operation-mix grid");
-    let cfg = BenchConfig::from_env();
+    let cfg = config_from_env_and_args();
     for (i, report) in experiments::fig10(&cfg).iter().enumerate() {
         emit(report, &format!("fig10_panel{i}"));
     }

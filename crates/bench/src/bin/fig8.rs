@@ -2,12 +2,12 @@
 //! (global-lock) RCU implementation vs. the paper's scalable one, under
 //! Citrus with 50% contains on the small key range.
 
-use citrus_bench::{banner, emit};
-use citrus_harness::{experiments, BenchConfig};
+use citrus_bench::{banner, config_from_env_and_args, emit};
+use citrus_harness::experiments;
 
 fn main() {
     banner("Figure 8 — Citrus over standard vs scalable RCU");
-    let cfg = BenchConfig::from_env();
+    let cfg = config_from_env_and_args();
     let report = experiments::fig8(&cfg);
     emit(&report, "fig8");
     println!(

@@ -2,12 +2,12 @@
 //! 50% insert / 50% delete, all others 100% contains) for all six
 //! algorithms, on both key ranges.
 
-use citrus_bench::{banner, emit};
-use citrus_harness::{experiments, BenchConfig};
+use citrus_bench::{banner, config_from_env_and_args, emit};
+use citrus_harness::experiments;
 
 fn main() {
     banner("Figure 9 — single-writer workload");
-    let cfg = BenchConfig::from_env();
+    let cfg = config_from_env_and_args();
     for (i, report) in experiments::fig9(&cfg).iter().enumerate() {
         emit(report, &format!("fig9_panel{i}"));
     }

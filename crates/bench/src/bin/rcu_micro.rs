@@ -68,7 +68,11 @@ fn synchronize_rate<F: RcuFlavor>(syncers: usize, dur: Duration) -> f64 {
 fn main() {
     println!("=== RCU micro-benchmarks ===\n");
     println!("read-side critical section cost (lock+unlock, ns/pair):");
-    println!("  {:<18} {:>8.1}", ScalableRcu::NAME, read_side_cost::<ScalableRcu>());
+    println!(
+        "  {:<18} {:>8.1}",
+        ScalableRcu::NAME,
+        read_side_cost::<ScalableRcu>()
+    );
     println!(
         "  {:<18} {:>8.1}",
         GlobalLockRcu::NAME,

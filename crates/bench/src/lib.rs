@@ -11,15 +11,45 @@
 
 #![warn(missing_docs)]
 
-use citrus_harness::Report;
+use citrus_harness::{BenchConfig, Report};
 
 /// Prints a report and writes its CSV, logging the path.
+///
+/// If the report carries an internal-metrics snapshot it is printed as an
+/// extra section and written alongside as `<csv_name>_metrics.csv`.
 pub fn emit(report: &Report, csv_name: &str) {
     println!("{report}");
     match report.write_csv(csv_name) {
-        Ok(path) => println!("(csv: {})\n", path.display()),
+        Ok(path) => {
+            println!("(csv: {})", path.display());
+            if report.metrics.is_some() {
+                println!(
+                    "(metrics csv: {})",
+                    path.with_file_name(format!("{csv_name}_metrics.csv"))
+                        .display()
+                );
+            }
+            println!();
+        }
         Err(e) => eprintln!("(csv write failed: {e})\n"),
     }
+}
+
+/// Reads the environment configuration and applies CLI flags: `--metrics`
+/// turns on internal-metric collection (same as `CITRUS_METRICS=1`).
+/// Unknown arguments abort with a usage message.
+pub fn config_from_env_and_args() -> BenchConfig {
+    let mut cfg = BenchConfig::from_env();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--metrics" => cfg.collect_metrics = true,
+            other => {
+                eprintln!("unknown argument `{other}` (supported: --metrics)");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
 }
 
 /// Prints the standard header for a figure run.

@@ -143,9 +143,7 @@ where
                 if let Some(prev) = prev_key {
                     match prev.cmp(key) {
                         core::cmp::Ordering::Less => {}
-                        core::cmp::Ordering::Equal => {
-                            return Err(InvariantViolation::DuplicateKey)
-                        }
+                        core::cmp::Ordering::Equal => return Err(InvariantViolation::DuplicateKey),
                         core::cmp::Ordering::Greater => {
                             return Err(InvariantViolation::OrderViolation { depth: node_depth })
                         }

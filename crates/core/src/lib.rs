@@ -68,11 +68,13 @@
 #![warn(missing_debug_implementations)]
 
 mod checks;
+mod metrics;
 mod node;
 mod tree;
 
 pub use checks::{InvariantViolation, TreeStats};
 pub use citrus_rcu::{GlobalLockRcu, RcuFlavor, ScalableRcu};
+pub use metrics::TreeMetrics;
 pub use tree::{CitrusSession, CitrusTree, ReclaimMode, SessionStats};
 
 #[cfg(test)]

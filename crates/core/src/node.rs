@@ -117,7 +117,10 @@ impl<K, V> Node<K, V> {
             value,
             marked: AtomicBool::new(false),
             lock: RawSpinLock::new(),
-            child: [AtomicPtr::new(ptr::null_mut()), AtomicPtr::new(ptr::null_mut())],
+            child: [
+                AtomicPtr::new(ptr::null_mut()),
+                AtomicPtr::new(ptr::null_mut()),
+            ],
             tag: [AtomicU64::new(0), AtomicU64::new(0)],
         }))
     }
@@ -209,7 +212,10 @@ mod tests {
     #[test]
     fn cmp_key_handles_sentinels() {
         assert_eq!(KeyBound::<u64>::NegInf.cmp_key(&0), CmpOrdering::Less);
-        assert_eq!(KeyBound::<u64>::PosInf.cmp_key(&u64::MAX), CmpOrdering::Greater);
+        assert_eq!(
+            KeyBound::<u64>::PosInf.cmp_key(&u64::MAX),
+            CmpOrdering::Greater
+        );
         assert_eq!(KeyBound::Key(3u64).cmp_key(&3), CmpOrdering::Equal);
         assert_eq!(KeyBound::Key(2u64).cmp_key(&3), CmpOrdering::Less);
     }
@@ -241,7 +247,11 @@ mod tests {
             let leaf = Node::<u64, u64>::new_leaf(KeyBound::Key(2), Some(2));
             (*n).set_child(Dir::Left, leaf);
             (*n).increment_tag(Dir::Left);
-            assert_eq!((*n).tag(Dir::Left), 1, "tag must not move for non-null child");
+            assert_eq!(
+                (*n).tag(Dir::Left),
+                1,
+                "tag must not move for non-null child"
+            );
 
             drop(Box::from_raw(leaf));
             drop(Box::from_raw(n));

@@ -14,8 +14,10 @@
 //! * `validate` / `incrementTag` — lines 33–41 → [`validate`] /
 //!   [`Node::increment_tag`].
 
+use crate::metrics::TreeMetrics;
 use crate::node::{Dir, KeyBound, Node};
 use citrus_api::{ConcurrentMap, MapSession};
+use citrus_obs::MetricsRegistry;
 use citrus_rcu::{RcuFlavor, RcuHandle, ScalableRcu};
 use citrus_reclaim::{EbrDomain, EbrHandle};
 use citrus_sync::SpinMutex;
@@ -74,6 +76,7 @@ pub struct CitrusTree<K, V, F: RcuFlavor = ScalableRcu> {
     root: *mut Node<K, V>,
     rcu: F,
     reclaim: ReclaimInner<K, V>,
+    metrics: TreeMetrics,
     _marker: PhantomData<Node<K, V>>,
 }
 
@@ -102,7 +105,40 @@ impl<K, V, F: RcuFlavor> CitrusTree<K, V, F> {
                 ReclaimMode::Leak => ReclaimInner::Leak(SpinMutex::new(Vec::new())),
                 ReclaimMode::Epoch => ReclaimInner::Epoch(EbrDomain::new()),
             },
+            metrics: TreeMetrics::new(),
             _marker: PhantomData,
+        }
+    }
+
+    /// This tree's metric instruments (no-ops unless built with the
+    /// `stats` feature).
+    pub fn metrics(&self) -> &TreeMetrics {
+        &self.metrics
+    }
+
+    /// Registers the whole stack's instruments into `registry`:
+    ///
+    /// * the tree's own counters under component `"citrus"`,
+    /// * the RCU domain's under the flavor name (e.g. `"rcu-scalable"`),
+    /// * in [`ReclaimMode::Epoch`], the reclamation domain's under
+    ///   `"reclaim"`.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        self.register_metrics_prefixed(registry, "");
+    }
+
+    /// Like [`register_metrics`](Self::register_metrics) but with every
+    /// component name prefixed — lets a harness keep several trees (e.g.
+    /// one per benchmark point) apart in one registry.
+    pub fn register_metrics_prefixed(&self, registry: &MetricsRegistry, prefix: &str) {
+        self.metrics
+            .register_into(registry, &format!("{prefix}citrus"));
+        self.rcu
+            .metrics()
+            .register_into(registry, &format!("{prefix}{}", F::NAME));
+        if let ReclaimInner::Epoch(domain) = &self.reclaim {
+            domain
+                .metrics()
+                .register_into(registry, &format!("{prefix}reclaim"));
         }
     }
 
@@ -143,6 +179,7 @@ impl<K, V, F: RcuFlavor> CitrusTree<K, V, F> {
             },
             graveyard: RefCell::new(Vec::new()),
             stats: SessionStats::default(),
+            stripe: self.metrics.assign_stripe(),
         }
     }
 
@@ -251,6 +288,8 @@ pub struct CitrusSession<'t, K, V, F: RcuFlavor> {
     /// graveyard in batches (and on drop).
     graveyard: RefCell<Vec<*mut Node<K, V>>>,
     stats: SessionStats,
+    /// This session's tree-metric counter stripe.
+    stripe: usize,
 }
 
 /// Batch size for flushing the session graveyard to the shared one.
@@ -263,12 +302,7 @@ const GRAVEYARD_FLUSH: usize = 256;
 ///
 /// `prev` must be a valid, locked node; `curr` must be null or a valid
 /// node.
-unsafe fn validate<K, V>(
-    prev: *mut Node<K, V>,
-    tag: u64,
-    curr: *mut Node<K, V>,
-    dir: Dir,
-) -> bool {
+unsafe fn validate<K, V>(prev: *mut Node<K, V>, tag: u64, curr: *mut Node<K, V>, dir: Dir) -> bool {
     // SAFETY: `prev` valid per contract.
     let prev_ref = unsafe { &*prev };
     if prev_ref.is_marked() || prev_ref.child(dir) != curr {
@@ -362,6 +396,7 @@ where
             // an unlinked node is harmless — validation will fail.
             unsafe {
                 (*prev).lock.lock();
+                self.tree.metrics.record_locks(self.stripe, 1);
                 if validate(prev, tag, ptr::null_mut(), dir) {
                     let (key, value) = payload.take().expect("first success");
                     let node = Node::new_leaf(KeyBound::Key(key), Some(value));
@@ -373,7 +408,10 @@ where
                 // Line 32: validation failed; release and retry.
                 (*prev).lock.unlock();
             }
-            self.stats.insert_retries.set(self.stats.insert_retries.get() + 1);
+            self.stats
+                .insert_retries
+                .set(self.stats.insert_retries.get() + 1);
+            self.tree.metrics.record_insert_retry(self.stripe);
         }
     }
 
@@ -396,10 +434,14 @@ where
             unsafe {
                 (*prev).lock.lock();
                 (*curr).lock.lock();
+                self.tree.metrics.record_locks(self.stripe, 2);
                 if !validate(prev, 0, curr, dir) {
                     (*curr).lock.unlock();
                     (*prev).lock.unlock();
-                    self.stats.remove_retries.set(self.stats.remove_retries.get() + 1);
+                    self.stats
+                        .remove_retries
+                        .set(self.stats.remove_retries.get() + 1);
+                    self.tree.metrics.record_remove_retry(self.stripe);
                     continue;
                 }
                 let left = (*curr).child(Dir::Left);
@@ -429,12 +471,19 @@ where
                     next = (*next).child(Dir::Left);
                 }
                 // Line 65.
-                let succ_dir = if prev_succ == curr { Dir::Right } else { Dir::Left };
+                let succ_dir = if prev_succ == curr {
+                    Dir::Right
+                } else {
+                    Dir::Left
+                };
                 // Lines 66–68: do not lock `curr` twice.
                 if prev_succ != curr {
                     (*prev_succ).lock.lock();
                 }
                 (*succ).lock.lock();
+                self.tree
+                    .metrics
+                    .record_locks(self.stripe, if prev_succ == curr { 1 } else { 2 });
 
                 // Line 69.
                 let succ_left_tag = (*succ).tag(Dir::Left);
@@ -451,6 +500,7 @@ where
                     );
                     // Line 71: ...locked before publication.
                     (*node).lock.lock();
+                    self.tree.metrics.record_locks(self.stripe, 1);
                     // Lines 72–73: mark `curr`, splice the copy in. From
                     // here until line 75 two nodes carry the successor's
                     // key — the weak BST property (Definition 1).
@@ -463,6 +513,7 @@ where
                     self.stats
                         .synchronize_calls
                         .set(self.stats.synchronize_calls.get() + 1);
+                    self.tree.metrics.record_synchronize(self.stripe);
 
                     // Lines 75–81: unlink the old successor.
                     (*succ).mark();
@@ -497,7 +548,10 @@ where
                 (*curr).lock.unlock();
                 (*prev).lock.unlock();
             }
-            self.stats.remove_retries.set(self.stats.remove_retries.get() + 1);
+            self.stats
+                .remove_retries
+                .set(self.stats.remove_retries.get() + 1);
+            self.tree.metrics.record_remove_retry(self.stripe);
         }
     }
 

@@ -19,19 +19,35 @@ fn synchronize_only_on_two_child_deletes() {
     for k in [50, 25, 75, 12, 37, 62, 87] {
         s.insert(k, k);
     }
-    assert_eq!(s.stats().synchronize_calls(), 0, "inserts never synchronize");
+    assert_eq!(
+        s.stats().synchronize_calls(),
+        0,
+        "inserts never synchronize"
+    );
 
     assert!(s.remove(&12)); // leaf
-    assert_eq!(s.stats().synchronize_calls(), 0, "leaf delete must not synchronize");
+    assert_eq!(
+        s.stats().synchronize_calls(),
+        0,
+        "leaf delete must not synchronize"
+    );
 
     assert!(s.remove(&37)); // 25 still has child 37? no: removing 37 itself (leaf)
     assert_eq!(s.stats().synchronize_calls(), 0);
 
     assert!(s.remove(&25)); // one child left (both grandchildren gone)
-    assert_eq!(s.stats().synchronize_calls(), 0, "one-child delete must not synchronize");
+    assert_eq!(
+        s.stats().synchronize_calls(),
+        0,
+        "one-child delete must not synchronize"
+    );
 
     assert!(s.remove(&75)); // two children (62, 87) → successor move
-    assert_eq!(s.stats().synchronize_calls(), 1, "two-child delete synchronizes once");
+    assert_eq!(
+        s.stats().synchronize_calls(),
+        1,
+        "two-child delete synchronizes once"
+    );
 }
 
 /// Grace-period count on the tree's RCU domain equals the number of

@@ -9,6 +9,17 @@ use citrus_rcu::RcuFlavor;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 
+/// Iteration count for a stress loop: `default`, unless the
+/// `CITRUS_STRESS_ITERS` environment variable caps it lower. The
+/// ThreadSanitizer CI job sets a small cap — every memory access is
+/// instrumented there and the full counts take far too long.
+fn stress_iters(default: u64) -> u64 {
+    match std::env::var("CITRUS_STRESS_ITERS") {
+        Ok(v) => v.parse::<u64>().map_or(default, |n| default.min(n.max(1))),
+        Err(_) => default,
+    }
+}
+
 /// Figure 4 scenario: deletes constantly relocate successors while readers
 /// search for exactly those successor keys. A reader must never miss a key
 /// that is permanently present.
@@ -18,7 +29,7 @@ use std::sync::Barrier;
 /// top with two children, successor base+20), then deletes `base+10` —
 /// forcing a genuine successor relocation of the never-deleted `base+20`.
 fn successor_move_vs_search<F: RcuFlavor>(mode: ReclaimMode) {
-    const ROUNDS: u64 = 300;
+    let rounds = stress_iters(300);
     let tree: CitrusTree<u64, u64, F> = CitrusTree::with_reclaim(mode);
     let published = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
@@ -31,7 +42,7 @@ fn successor_move_vs_search<F: RcuFlavor>(mode: ReclaimMode) {
             scope.spawn(move || {
                 let mut s = tree.session();
                 barrier.wait();
-                for r in 0..ROUNDS {
+                for r in 0..rounds {
                     let base = r * 100;
                     for k in [10, 5, 30, 20, 40] {
                         s.insert(base + k, base + k + 1);
@@ -81,7 +92,7 @@ fn successor_move_vs_search<F: RcuFlavor>(mode: ReclaimMode) {
         "a search missed a permanently present key (Figure 4 false negative)"
     );
     assert!(
-        tree.rcu().grace_periods() >= ROUNDS,
+        tree.rcu().grace_periods() >= rounds,
         "every round must have executed a two-child delete (got {} grace periods)",
         tree.rcu().grace_periods()
     );
@@ -109,7 +120,7 @@ fn successor_move_vs_search_global_lock() {
 /// afterwards even if the parent was concurrently deleted (the tag +
 /// marked validation must force a retry rather than losing the insert).
 fn insert_vs_parent_delete<F: RcuFlavor>(mode: ReclaimMode) {
-    const ROUNDS: u64 = 300;
+    let rounds = stress_iters(300);
     let tree: CitrusTree<u64, u64, F> = CitrusTree::with_reclaim(mode);
     let barrier = Barrier::new(2);
 
@@ -120,7 +131,7 @@ fn insert_vs_parent_delete<F: RcuFlavor>(mode: ReclaimMode) {
         scope.spawn(move || {
             let mut s = tree_a.session();
             barrier_a.wait();
-            for r in 0..ROUNDS {
+            for r in 0..rounds {
                 let parent = r * 10 + 5;
                 s.insert(parent, parent);
                 // Give B a chance to pick the parent as `prev`, then
@@ -132,7 +143,7 @@ fn insert_vs_parent_delete<F: RcuFlavor>(mode: ReclaimMode) {
         scope.spawn(move || {
             let mut s = tree_b.session();
             barrier_b.wait();
-            for r in 0..ROUNDS {
+            for r in 0..rounds {
                 let child = r * 10 + 6; // would hang under parent r*10+5
                 assert!(s.insert(child, child), "insert({child}) lost");
                 assert_eq!(s.get(&child), Some(child), "insert({child}) vanished");
@@ -141,14 +152,14 @@ fn insert_vs_parent_delete<F: RcuFlavor>(mode: ReclaimMode) {
     });
 
     let mut s = tree.session();
-    for r in 0..ROUNDS {
+    for r in 0..rounds {
         let child = r * 10 + 6;
         assert_eq!(s.get(&child), Some(child), "key {child} missing at the end");
     }
     drop(s);
     let mut tree = tree;
     let stats = tree.validate_structure().unwrap();
-    assert!(stats.len >= ROUNDS as usize);
+    assert!(stats.len >= rounds as usize);
 }
 
 #[test]
@@ -168,8 +179,8 @@ fn insert_vs_parent_delete_global_lock() {
 fn waves_of_churn_with_structural_audits() {
     const THREADS: usize = 8;
     const WAVES: usize = 5;
-    const OPS_PER_WAVE: usize = 2_000;
     const RANGE: u64 = 512;
+    let ops_per_wave = stress_iters(2_000) as usize;
 
     let mut tree: CitrusTree<u64, u64> = CitrusTree::with_reclaim(ReclaimMode::Epoch);
     for wave in 0..WAVES {
@@ -180,11 +191,10 @@ fn waves_of_churn_with_structural_audits() {
                 for t in 0..THREADS {
                     let barrier = &barrier;
                     scope.spawn(move || {
-                        let mut rng =
-                            SplitMix64::new((wave as u64) << 32 | t as u64 | 0xA5A5_0000);
+                        let mut rng = SplitMix64::new((wave as u64) << 32 | t as u64 | 0xA5A5_0000);
                         let mut s = tree.session();
                         barrier.wait();
-                        for _ in 0..OPS_PER_WAVE {
+                        for _ in 0..ops_per_wave {
                             let k = rng.below(RANGE);
                             match rng.below(4) {
                                 0 => {
@@ -217,8 +227,8 @@ fn waves_of_churn_with_structural_audits() {
 #[test]
 fn update_only_storm() {
     const THREADS: usize = 8;
-    const OPS: usize = 3_000;
     const RANGE: u64 = 128;
+    let ops = stress_iters(3_000) as usize;
 
     let tree: CitrusTree<u64, u64> = CitrusTree::with_reclaim(ReclaimMode::Epoch);
     {
@@ -235,7 +245,7 @@ fn update_only_storm() {
                 let mut rng = SplitMix64::new(0xD00D ^ t);
                 let mut s = tree.session();
                 barrier.wait();
-                for _ in 0..OPS {
+                for _ in 0..ops {
                     let k = rng.below(RANGE);
                     if rng.below(2) == 0 {
                         s.insert(k, k);
@@ -247,7 +257,8 @@ fn update_only_storm() {
         }
     });
     let mut tree = tree;
-    tree.validate_structure().expect("structure after update storm");
+    tree.validate_structure()
+        .expect("structure after update storm");
 }
 
 /// Sessions created and destroyed concurrently with operations (slot reuse
@@ -255,6 +266,7 @@ fn update_only_storm() {
 #[test]
 fn session_churn_during_operations() {
     const RANGE: u64 = 64;
+    let batches = stress_iters(150);
     let tree: CitrusTree<u64, u64> = CitrusTree::new();
     let stop = AtomicBool::new(false);
 
@@ -275,7 +287,7 @@ fn session_churn_during_operations() {
             let (tree_c, stop_c) = (&tree, &stop);
             scope.spawn(move || {
                 let mut rng = SplitMix64::new(100 + t);
-                for _ in 0..150 {
+                for _ in 0..batches {
                     let mut s = tree_c.session();
                     for _ in 0..50 {
                         let k = rng.below(RANGE);
@@ -299,5 +311,6 @@ fn session_churn_during_operations() {
         }
     });
     let mut tree = tree;
-    tree.validate_structure().expect("structure after session churn");
+    tree.validate_structure()
+        .expect("structure after session churn");
 }

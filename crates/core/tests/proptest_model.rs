@@ -24,10 +24,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 /// Applies `ops` to a fresh tree and to a model, asserting every return
 /// value matches, then audits the final state and structure.
-fn run_against_model<F: RcuFlavor>(
-    mode: ReclaimMode,
-    ops: &[Op],
-) -> Result<(), TestCaseError> {
+fn run_against_model<F: RcuFlavor>(mode: ReclaimMode, ops: &[Op]) -> Result<(), TestCaseError> {
     let tree: CitrusTree<u8, u16, F> = CitrusTree::with_reclaim(mode);
     let mut model: BTreeMap<u8, u16> = BTreeMap::new();
     {

@@ -16,6 +16,10 @@ use std::time::Duration;
 /// | `CITRUS_THREADS` | comma-separated thread counts | `1,2,4,8` | `1,4,16,64` |
 /// | `CITRUS_RANGE_SMALL` | small key range | 20000 | 200000 |
 /// | `CITRUS_RANGE_LARGE` | large key range | 200000 | 2000000 |
+/// | `CITRUS_METRICS` | attach internal-metrics sections to reports | unset | — |
+///
+/// Metric collection also requires the `stats` feature (on by default in
+/// `citrus-bench`); without it the metrics sections are empty.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {
     /// Per-point run duration.
@@ -28,6 +32,9 @@ pub struct BenchConfig {
     pub range_small: u64,
     /// The paper's `[0, 2·10⁶]` range (possibly scaled down).
     pub range_large: u64,
+    /// Collect internal metrics (RCU, reclamation, tree counters) during
+    /// the highest-thread-count point of each figure panel.
+    pub collect_metrics: bool,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -46,8 +53,7 @@ impl BenchConfig {
         } else {
             (200, 1, "1,2,4,8", 20_000, 200_000)
         };
-        let threads_raw =
-            std::env::var("CITRUS_THREADS").unwrap_or_else(|_| d_threads.to_string());
+        let threads_raw = std::env::var("CITRUS_THREADS").unwrap_or_else(|_| d_threads.to_string());
         let threads: Vec<usize> = threads_raw
             .split(',')
             .filter_map(|s| s.trim().parse().ok())
@@ -63,6 +69,8 @@ impl BenchConfig {
             },
             range_small: env_u64("CITRUS_RANGE_SMALL", d_small),
             range_large: env_u64("CITRUS_RANGE_LARGE", d_large),
+            collect_metrics: std::env::var("CITRUS_METRICS")
+                .is_ok_and(|v| v != "0" && !v.is_empty()),
         }
     }
 
@@ -74,6 +82,7 @@ impl BenchConfig {
             threads: vec![1, 2],
             range_small: 512,
             range_large: 2_048,
+            collect_metrics: false,
         }
     }
 }

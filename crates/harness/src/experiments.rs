@@ -2,10 +2,32 @@
 //! definitions. Each function sweeps the configured thread counts and
 //! returns one [`Report`] per figure panel.
 
+//! With [`BenchConfig::collect_metrics`] set (env `CITRUS_METRICS=1`, or
+//! `--metrics` on the `citrus-bench` binaries), each panel additionally
+//! snapshots the Citrus-internal metrics — RCU read sections and
+//! `synchronize_rcu` latency, reclamation limbo depth, tree lock/retry
+//! counters — of the highest-thread-count point, attached as
+//! [`Report::metrics`].
+
 use crate::config::BenchConfig;
 use crate::report::Report;
-use crate::runner::run_algo;
+use crate::runner::run_algo_observed;
 use crate::workload::{Algo, OpMix, WorkloadSpec};
+use citrus_obs::MetricsRegistry;
+
+/// Builds the per-point observer: metrics are collected only at the
+/// panel's maximum thread count (the most contended, most informative
+/// point), each algorithm prefixed `"<label>@<t>t/"`.
+fn observer_for(
+    registry: Option<&MetricsRegistry>,
+    algo: Algo,
+    t: usize,
+    observe_at: usize,
+) -> Option<(&MetricsRegistry, String)> {
+    registry
+        .filter(|_| t == observe_at)
+        .map(|r| (r, format!("{}@{t}t/", algo.label())))
+}
 
 /// Figure 8 — impact of concurrent updates on the RCU implementation:
 /// Citrus over the standard (global-lock) RCU vs. over the paper's
@@ -22,17 +44,27 @@ pub fn fig8(cfg: &BenchConfig) -> Report {
         ),
         cfg.threads.clone(),
     );
+    let registry = cfg.collect_metrics.then(MetricsRegistry::new);
+    let observe_at = cfg.threads.iter().copied().max().unwrap_or(0);
     for algo in [Algo::CitrusStdRcu, Algo::Citrus] {
         let points = cfg
             .threads
             .iter()
             .map(|&t| {
                 let spec = WorkloadSpec::new(cfg.range_small, mix, t, cfg.duration);
-                run_algo(algo, &spec, cfg.reps, 0x816)
+                let observer = observer_for(registry.as_ref(), algo, t, observe_at);
+                run_algo_observed(
+                    algo,
+                    &spec,
+                    cfg.reps,
+                    0x816,
+                    observer.as_ref().map(|(r, p)| (*r, p.as_str())),
+                )
             })
             .collect();
         report.push(algo.label(), points);
     }
+    report.metrics = registry.map(|r| r.snapshot());
     report
 }
 
@@ -47,17 +79,27 @@ pub fn fig9(cfg: &BenchConfig) -> Vec<Report> {
                 format!("Fig. 9 — single writer, key range [0,{range}]"),
                 cfg.threads.clone(),
             );
+            let registry = cfg.collect_metrics.then(MetricsRegistry::new);
+            let observe_at = cfg.threads.iter().copied().max().unwrap_or(0);
             for algo in Algo::FIGURE_SET {
                 let points = cfg
                     .threads
                     .iter()
                     .map(|&t| {
                         let spec = WorkloadSpec::single_writer(range, t, cfg.duration);
-                        run_algo(algo, &spec, cfg.reps, 0x916)
+                        let observer = observer_for(registry.as_ref(), algo, t, observe_at);
+                        run_algo_observed(
+                            algo,
+                            &spec,
+                            cfg.reps,
+                            0x916,
+                            observer.as_ref().map(|(r, p)| (*r, p.as_str())),
+                        )
                     })
                     .collect();
                 report.push(algo.label(), points);
             }
+            report.metrics = registry.map(|r| r.snapshot());
             report
         })
         .collect()
@@ -79,17 +121,27 @@ pub fn fig10(cfg: &BenchConfig) -> Vec<Report> {
                 format!("Fig. 10 — {contains_pct}% contains, key range [0,{range}]"),
                 cfg.threads.clone(),
             );
+            let registry = cfg.collect_metrics.then(MetricsRegistry::new);
+            let observe_at = cfg.threads.iter().copied().max().unwrap_or(0);
             for algo in Algo::FIGURE_SET {
                 let points = cfg
                     .threads
                     .iter()
                     .map(|&t| {
                         let spec = WorkloadSpec::new(range, mix, t, cfg.duration);
-                        run_algo(algo, &spec, cfg.reps, 0x1016)
+                        let observer = observer_for(registry.as_ref(), algo, t, observe_at);
+                        run_algo_observed(
+                            algo,
+                            &spec,
+                            cfg.reps,
+                            0x1016,
+                            observer.as_ref().map(|(r, p)| (*r, p.as_str())),
+                        )
                     })
                     .collect();
                 report.push(algo.label(), points);
             }
+            report.metrics = registry.map(|r| r.snapshot());
             reports.push(report);
         }
     }

@@ -29,5 +29,5 @@ pub mod workload;
 
 pub use config::BenchConfig;
 pub use report::{Report, Series};
-pub use runner::{run_throughput, RunResult};
+pub use runner::{run_algo, run_algo_observed, run_throughput, RunResult};
 pub use workload::{Algo, OpMix, WorkloadSpec};

@@ -1,6 +1,7 @@
 //! Result tables: aligned text output (mirroring the paper's figures as
 //! rows/series) and CSV files for external plotting.
 
+use citrus_obs::MetricsSnapshot;
 use core::fmt;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -25,6 +26,12 @@ pub struct Report {
     pub threads: Vec<usize>,
     /// One series per algorithm.
     pub series: Vec<Series>,
+    /// Internal-metrics snapshot taken after the panel's runs, when the
+    /// run collected metrics ([`BenchConfig::collect_metrics`]); rendered
+    /// as an extra section and written to `<name>_metrics.csv`.
+    ///
+    /// [`BenchConfig::collect_metrics`]: crate::BenchConfig::collect_metrics
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl Report {
@@ -34,6 +41,7 @@ impl Report {
             title: title.into(),
             threads,
             series: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -69,6 +77,9 @@ impl Report {
             }
             writeln!(f)?;
         }
+        if let Some(metrics) = &self.metrics {
+            std::fs::write(dir.join(format!("{name}_metrics.csv")), metrics.to_csv())?;
+        }
         Ok(path)
     }
 }
@@ -87,6 +98,10 @@ impl fmt::Display for Report {
                 write!(f, "{:>12}", format_throughput(*p))?;
             }
             writeln!(f)?;
+        }
+        if let Some(metrics) = &self.metrics {
+            writeln!(f, "\n-- internal metrics (last rep, max threads) --")?;
+            write!(f, "{metrics}")?;
         }
         Ok(())
     }

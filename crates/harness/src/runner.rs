@@ -7,6 +7,7 @@ use citrus_api::{ConcurrentMap, MapSession};
 use citrus_baselines::{
     BonsaiTree, LazySkipList, LockFreeBst, OptimisticAvlTree, RelativisticRbTree,
 };
+use citrus_obs::MetricsRegistry;
 use core::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -103,9 +104,7 @@ pub fn run_throughput<M: ConcurrentMap<u64, u64>>(
                                 std::hint::black_box(session.get(&key));
                             }
                             OpKind::Insert => {
-                                std::hint::black_box(
-                                    session.insert(key, key.wrapping_mul(2) + 1),
-                                );
+                                std::hint::black_box(session.insert(key, key.wrapping_mul(2) + 1));
                             }
                             OpKind::Delete => {
                                 std::hint::black_box(session.remove(&key));
@@ -137,24 +136,53 @@ pub fn run_throughput<M: ConcurrentMap<u64, u64>>(
 /// Builds the structure for `algo` and runs the workload on it, averaging
 /// `reps` repetitions (the paper averages five).
 pub fn run_algo(algo: Algo, spec: &WorkloadSpec, reps: usize, seed: u64) -> f64 {
+    run_algo_observed(algo, spec, reps, seed, None)
+}
+
+/// Like [`run_algo`], but when `observer` is `Some((registry, prefix))`
+/// and `algo` is a Citrus variant, the **last** repetition's tree
+/// registers its internal metrics (tree, RCU, reclamation) into
+/// `registry` with every component name prefixed by `prefix`.
+///
+/// Only the last repetition is registered so the snapshot reflects one
+/// structure's lifetime; baseline algorithms have no instruments and
+/// ignore the observer.
+pub fn run_algo_observed(
+    algo: Algo,
+    spec: &WorkloadSpec,
+    reps: usize,
+    seed: u64,
+    observer: Option<(&MetricsRegistry, &str)>,
+) -> f64 {
+    let reps = reps.max(1);
     let mut sum = 0.0;
-    for rep in 0..reps.max(1) {
+    for rep in 0..reps {
         let rep_seed = seed ^ (rep as u64) << 32;
+        let observe = if rep + 1 == reps { observer } else { None };
         // Fresh structure per repetition, as in the paper.
         let r = match algo {
             Algo::Citrus => {
                 let map: CitrusTree<u64, u64, ScalableRcu> =
                     CitrusTree::with_reclaim(ReclaimMode::Leak);
+                if let Some((registry, prefix)) = observe {
+                    map.register_metrics_prefixed(registry, prefix);
+                }
                 run_throughput(&map, spec, rep_seed)
             }
             Algo::CitrusStdRcu => {
                 let map: CitrusTree<u64, u64, GlobalLockRcu> =
                     CitrusTree::with_reclaim(ReclaimMode::Leak);
+                if let Some((registry, prefix)) = observe {
+                    map.register_metrics_prefixed(registry, prefix);
+                }
                 run_throughput(&map, spec, rep_seed)
             }
             Algo::CitrusEbr => {
                 let map: CitrusTree<u64, u64, ScalableRcu> =
                     CitrusTree::with_reclaim(ReclaimMode::Epoch);
+                if let Some((registry, prefix)) = observe {
+                    map.register_metrics_prefixed(registry, prefix);
+                }
                 run_throughput(&map, spec, rep_seed)
             }
             Algo::Avl => {
@@ -180,7 +208,7 @@ pub fn run_algo(algo: Algo, spec: &WorkloadSpec, reps: usize, seed: u64) -> f64 
         };
         sum += r.throughput();
     }
-    sum / reps.max(1) as f64
+    sum / reps as f64
 }
 
 #[cfg(test)]
@@ -191,7 +219,12 @@ mod tests {
     #[test]
     fn throughput_run_produces_ops() {
         let map: CitrusTree<u64, u64> = CitrusTree::with_reclaim(ReclaimMode::Leak);
-        let spec = WorkloadSpec::new(1_000, OpMix::with_contains(50), 2, Duration::from_millis(50));
+        let spec = WorkloadSpec::new(
+            1_000,
+            OpMix::with_contains(50),
+            2,
+            Duration::from_millis(50),
+        );
         let r = run_throughput(&map, &spec, 7);
         assert!(r.total_ops > 0);
         assert_eq!(r.per_thread.len(), 2);
@@ -219,12 +252,7 @@ mod tests {
 
     #[test]
     fn citrus_both_flavors_run() {
-        let spec = WorkloadSpec::new(
-            400,
-            OpMix::with_contains(50),
-            3,
-            Duration::from_millis(30),
-        );
+        let spec = WorkloadSpec::new(400, OpMix::with_contains(50), 3, Duration::from_millis(30));
         for algo in [Algo::Citrus, Algo::CitrusStdRcu, Algo::CitrusEbr] {
             assert!(run_algo(algo, &spec, 1, 13) > 0.0);
         }

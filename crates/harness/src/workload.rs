@@ -67,11 +67,7 @@ impl OpMix {
 
 impl fmt::Display for OpMix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}c/{}i/{}d",
-            self.contains, self.insert, self.delete
-        )
+        write!(f, "{}c/{}i/{}d", self.contains, self.insert, self.delete)
     }
 }
 

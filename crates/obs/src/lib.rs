@@ -1,0 +1,61 @@
+//! Observability for the Citrus reproduction (`citrus-obs`).
+//!
+//! The paper's evaluation (§6, Figs. 8–10) turns on *why* the scalable RCU
+//! beats the global-lock flavor — grace-period latency, read-section
+//! volume, lock contention inside the tree — but raw throughput hides all
+//! of that. This crate provides the instruments the rest of the workspace
+//! registers into:
+//!
+//! * [`Counter`] — striped event counter (reuses
+//!   [`citrus_sync::StripedCounter`]): uncontended relaxed `fetch_add` per
+//!   event, summed on snapshot.
+//! * [`Log2Histogram`] — fixed-bucket power-of-two histogram, primarily
+//!   for latencies in nanoseconds (`synchronize_rcu` duration) but also
+//!   for counts (nodes freed per epoch advance).
+//! * [`HighWaterMark`] — monotone maximum gauge (limbo-bag depth).
+//! * [`Stopwatch`] — a timer that compiles away with stats off.
+//! * [`MetricsRegistry`] — named components register their instruments;
+//!   [`MetricsRegistry::snapshot`] produces a [`MetricsSnapshot`] that
+//!   renders as an aligned text table or CSV.
+//!
+//! # The `stats` feature: zero cost when off
+//!
+//! Every instrument is a zero-sized type with `#[inline]` empty methods
+//! unless the crate is built with the `stats` feature. The **API is
+//! identical in both modes**, so instrumented crates (`citrus-rcu`,
+//! `citrus-reclaim`, `citrus`) carry no `cfg` noise: with stats off the
+//! calls compile to nothing — no atomics, no branches, no memory. The
+//! crates forward the feature (`citrus/stats` → `citrus-obs/stats`), and a
+//! compile-time test asserts the no-op types are zero-sized.
+//!
+//! # Example
+//!
+//! ```
+//! use citrus_obs::{Counter, MetricsRegistry};
+//!
+//! let registry = MetricsRegistry::new();
+//! let restarts = Counter::new(4);
+//! registry.register_counter("citrus", "insert_retries", &restarts);
+//!
+//! restarts.incr(0); // hot path: relaxed add on a private stripe (or a no-op)
+//!
+//! let snap = registry.snapshot();
+//! #[cfg(feature = "stats")]
+//! assert_eq!(snap.counter("citrus", "insert_retries"), Some(1));
+//! #[cfg(not(feature = "stats"))]
+//! assert!(snap.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod metric;
+mod registry;
+mod snapshot;
+
+pub use metric::{Counter, HighWaterMark, Log2Histogram, Stopwatch};
+pub use registry::MetricsRegistry;
+pub use snapshot::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
+
+/// `true` iff this build collects statistics (the `stats` feature is on).
+pub const STATS_ENABLED: bool = cfg!(feature = "stats");

@@ -1,0 +1,431 @@
+//! The instrument types: counters, histograms, high-water marks, and the
+//! feature-gated stopwatch.
+//!
+//! Each type is a cheap cloneable handle (an `Arc` around shared state)
+//! when the `stats` feature is on, and a zero-sized no-op otherwise. All
+//! hot-path methods are `#[inline]` so the no-op variants vanish entirely.
+
+#[cfg(feature = "stats")]
+use citrus_sync::StripedCounter;
+#[cfg(feature = "stats")]
+use core::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "stats")]
+use std::sync::Arc;
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Number of buckets in a [`Log2Histogram`]: one per possible bit length
+/// of a `u64` value, plus one for zero.
+#[cfg(feature = "stats")]
+pub(crate) const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A striped event counter; see [`citrus_sync::StripedCounter`].
+///
+/// Hot-path increments go to `slot % stripes`, so callers pass a cheap
+/// per-thread slot id and never contend. With the `stats` feature off this
+/// is a zero-sized no-op.
+///
+/// # Example
+///
+/// ```
+/// use citrus_obs::Counter;
+///
+/// let c = Counter::new(4);
+/// c.incr(0);
+/// c.add(3, 9);
+/// #[cfg(feature = "stats")]
+/// assert_eq!(c.get(), 10);
+/// #[cfg(not(feature = "stats"))]
+/// assert_eq!(c.get(), 0); // no-op build: nothing is recorded
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "stats")]
+    inner: Option<Arc<StripedCounter>>,
+}
+
+impl Counter {
+    /// Creates a counter with `stripes` cells (clamped to at least one).
+    #[must_use]
+    pub fn new(stripes: usize) -> Self {
+        #[cfg(feature = "stats")]
+        {
+            Self {
+                inner: Some(Arc::new(StripedCounter::new(stripes.max(1)))),
+            }
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            let _ = stripes;
+            Self {}
+        }
+    }
+
+    /// Adds `n` to stripe `slot % stripes`.
+    #[inline]
+    pub fn add(&self, slot: usize, n: u64) {
+        #[cfg(feature = "stats")]
+        if let Some(c) = &self.inner {
+            c.add(slot, n);
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            let _ = (slot, n);
+        }
+    }
+
+    /// Increments stripe `slot % stripes` by one.
+    #[inline]
+    pub fn incr(&self, slot: usize) {
+        self.add(slot, 1);
+    }
+
+    /// Current total (sum over stripes); always `0` with stats off.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "stats")]
+        {
+            self.inner.as_ref().map_or(0, |c| c.sum())
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            0
+        }
+    }
+}
+
+/// A fixed-bucket power-of-two histogram.
+///
+/// Values land in bucket `bit_length(value)` (bucket 0 holds zeros, bucket
+/// `k` holds `[2^(k-1), 2^k)`), so the 65 buckets cover all of `u64` with
+/// one branch-free index computation. Primarily used for latencies in
+/// nanoseconds; also for per-event counts. With the `stats` feature off
+/// this is a zero-sized no-op.
+///
+/// # Example
+///
+/// ```
+/// use citrus_obs::Log2Histogram;
+///
+/// let h = Log2Histogram::new();
+/// h.record(800);   // bucket [512, 1024)
+/// h.record(1100);  // bucket [1024, 2048)
+/// let snap = h.snapshot();
+/// #[cfg(feature = "stats")]
+/// assert_eq!(snap.count, 2);
+/// #[cfg(not(feature = "stats"))]
+/// assert_eq!(snap.count, 0); // no-op build: nothing is recorded
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Log2Histogram {
+    #[cfg(feature = "stats")]
+    inner: Option<Arc<HistogramInner>>,
+}
+
+#[cfg(feature = "stats")]
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+#[cfg(feature = "stats")]
+impl HistogramInner {
+    fn new() -> Self {
+        Self {
+            buckets: core::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        #[cfg(feature = "stats")]
+        {
+            Self {
+                inner: Some(Arc::new(HistogramInner::new())),
+            }
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            Self {}
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(feature = "stats")]
+        if let Some(h) = &self.inner {
+            let bucket = (u64::BITS - value.leading_zeros()) as usize;
+            h.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(value, Ordering::Relaxed);
+            h.max.fetch_max(value, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            let _ = value;
+        }
+    }
+
+    /// A point-in-time copy of the histogram (empty with stats off).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        #[cfg(feature = "stats")]
+        {
+            if let Some(h) = &self.inner {
+                return HistogramSnapshot {
+                    count: h.count.load(Ordering::Relaxed),
+                    sum: h.sum.load(Ordering::Relaxed),
+                    max: h.max.load(Ordering::Relaxed),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
+                };
+            }
+        }
+        HistogramSnapshot::empty()
+    }
+}
+
+/// A monotone maximum gauge (e.g. deepest limbo bag ever observed).
+///
+/// With the `stats` feature off this is a zero-sized no-op.
+///
+/// # Example
+///
+/// ```
+/// use citrus_obs::HighWaterMark;
+///
+/// let hwm = HighWaterMark::new();
+/// hwm.observe(3);
+/// hwm.observe(17);
+/// hwm.observe(5);
+/// #[cfg(feature = "stats")]
+/// assert_eq!(hwm.get(), 17);
+/// #[cfg(not(feature = "stats"))]
+/// assert_eq!(hwm.get(), 0); // no-op build: nothing is recorded
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HighWaterMark {
+    #[cfg(feature = "stats")]
+    inner: Option<Arc<AtomicU64>>,
+}
+
+impl HighWaterMark {
+    /// Creates a mark at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        #[cfg(feature = "stats")]
+        {
+            Self {
+                inner: Some(Arc::new(AtomicU64::new(0))),
+            }
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            Self {}
+        }
+    }
+
+    /// Raises the mark to `value` if it is higher than the current mark.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        #[cfg(feature = "stats")]
+        if let Some(m) = &self.inner {
+            m.fetch_max(value, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            let _ = value;
+        }
+    }
+
+    /// The highest value observed; always `0` with stats off.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "stats")]
+        {
+            self.inner.as_ref().map_or(0, |m| m.load(Ordering::Relaxed))
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            0
+        }
+    }
+}
+
+/// A wall-clock timer that compiles away with stats off.
+///
+/// Use it around code whose latency feeds a [`Log2Histogram`]: with the
+/// `stats` feature off, no clock is read.
+///
+/// # Example
+///
+/// ```
+/// use citrus_obs::{Log2Histogram, Stopwatch};
+///
+/// let h = Log2Histogram::new();
+/// let sw = Stopwatch::start();
+/// // ... the operation being measured ...
+/// h.record(sw.elapsed_ns());
+/// # let _ = h.snapshot();
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    #[cfg(feature = "stats")]
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing (a no-op with stats off).
+    #[inline]
+    #[must_use]
+    pub fn start() -> Self {
+        #[cfg(feature = "stats")]
+        {
+            Self {
+                start: std::time::Instant::now(),
+            }
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            Self {}
+        }
+    }
+
+    /// Nanoseconds since [`start`](Self::start), saturated to `u64`;
+    /// always `0` with stats off.
+    #[inline]
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(feature = "stats")]
+        {
+            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(not(feature = "stats"))]
+    use super::*;
+
+    /// The zero-cost-when-off contract, checked at compile scope: with the
+    /// `stats` feature off every instrument must be zero-sized (it cannot
+    /// contain an atomic, a pointer, or anything else).
+    #[cfg(not(feature = "stats"))]
+    #[test]
+    fn noop_instruments_are_zero_sized() {
+        assert_eq!(core::mem::size_of::<Counter>(), 0);
+        assert_eq!(core::mem::size_of::<Log2Histogram>(), 0);
+        assert_eq!(core::mem::size_of::<HighWaterMark>(), 0);
+        assert_eq!(core::mem::size_of::<Stopwatch>(), 0);
+        assert_eq!(core::mem::size_of::<crate::MetricsRegistry>(), 0);
+        // And the no-op paths record nothing.
+        let c = Counter::new(8);
+        c.add(0, 5);
+        assert_eq!(c.get(), 0);
+        let h = Log2Histogram::new();
+        h.record(123);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[cfg(feature = "stats")]
+    mod stats_on {
+        use super::super::*;
+
+        #[test]
+        fn counter_counts() {
+            let c = Counter::new(4);
+            c.incr(0);
+            c.incr(1);
+            c.add(2, 8);
+            assert_eq!(c.get(), 10);
+        }
+
+        #[test]
+        fn counter_clone_shares_state() {
+            let c = Counter::new(2);
+            let c2 = c.clone();
+            c.incr(0);
+            c2.incr(1);
+            assert_eq!(c.get(), 2);
+            assert_eq!(c2.get(), 2);
+        }
+
+        #[test]
+        fn histogram_buckets_by_bit_length() {
+            let h = Log2Histogram::new();
+            h.record(0); // bucket 0
+            h.record(1); // bucket 1
+            h.record(2); // bucket 2
+            h.record(3); // bucket 2
+            h.record(1024); // bucket 11
+            let s = h.snapshot();
+            assert_eq!(s.count, 5);
+            assert_eq!(s.sum, 1030);
+            assert_eq!(s.max, 1024);
+            assert_eq!(s.buckets[0], 1);
+            assert_eq!(s.buckets[1], 1);
+            assert_eq!(s.buckets[2], 2);
+            assert_eq!(s.buckets[11], 1);
+        }
+
+        #[test]
+        fn histogram_max_value_does_not_overflow_buckets() {
+            let h = Log2Histogram::new();
+            h.record(u64::MAX);
+            let s = h.snapshot();
+            assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+            assert_eq!(s.max, u64::MAX);
+        }
+
+        #[test]
+        fn concurrent_counter_and_histogram_lose_nothing() {
+            const THREADS: usize = 8;
+            const PER: u64 = 10_000;
+            let c = Counter::new(THREADS);
+            let h = Log2Histogram::new();
+            let hwm = HighWaterMark::new();
+            std::thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let (c, h, hwm) = (&c, &h, &hwm);
+                    scope.spawn(move || {
+                        for i in 0..PER {
+                            c.incr(t);
+                            h.record(i);
+                            hwm.observe(t as u64 * PER + i);
+                        }
+                    });
+                }
+            });
+            assert_eq!(c.get(), THREADS as u64 * PER);
+            let s = h.snapshot();
+            assert_eq!(s.count, THREADS as u64 * PER);
+            assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+            assert_eq!(hwm.get(), THREADS as u64 * PER - 1);
+        }
+
+        #[test]
+        fn stopwatch_measures_something() {
+            let sw = Stopwatch::start();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(sw.elapsed_ns() >= 1_000_000);
+        }
+    }
+}

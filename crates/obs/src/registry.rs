@@ -1,0 +1,268 @@
+//! The [`MetricsRegistry`]: named components register their instruments;
+//! a snapshot freezes every registered metric at once.
+
+#[cfg(feature = "stats")]
+use std::sync::{Arc, Mutex};
+
+use crate::metric::{Counter, HighWaterMark, Log2Histogram};
+use crate::snapshot::MetricsSnapshot;
+#[cfg(feature = "stats")]
+use crate::snapshot::{MetricEntry, MetricValue};
+
+#[cfg(feature = "stats")]
+enum Instrument {
+    Counter(Counter),
+    Histogram(Log2Histogram),
+    HighWaterMark(HighWaterMark),
+}
+
+#[cfg(feature = "stats")]
+struct Registration {
+    component: String,
+    name: String,
+    instrument: Instrument,
+}
+
+/// Central registry of named metrics.
+///
+/// Components register cloned handles of their instruments under a
+/// `(component, name)` pair; [`snapshot`](Self::snapshot) then freezes all
+/// of them in registration order. Because the registry holds clones
+/// (instruments are `Arc`-backed), snapshots keep working after the
+/// instrumented structure is dropped.
+///
+/// Cloning the registry is cheap and shares the underlying list, so one
+/// registry can be threaded through a whole benchmark run. With the
+/// `stats` feature off the registry is zero-sized, registration is a
+/// no-op, and snapshots are empty.
+///
+/// # Example
+///
+/// ```
+/// use citrus_obs::{Counter, Log2Histogram, MetricsRegistry};
+///
+/// let registry = MetricsRegistry::new();
+/// let calls = Counter::new(2);
+/// let latency = Log2Histogram::new();
+/// registry.register_counter("rcu", "synchronize_calls", &calls);
+/// registry.register_histogram("rcu", "synchronize_ns", &latency);
+///
+/// calls.incr(0);
+/// latency.record(1500);
+///
+/// let snap = registry.snapshot();
+/// #[cfg(feature = "stats")]
+/// {
+///     assert_eq!(snap.counter("rcu", "synchronize_calls"), Some(1));
+///     assert_eq!(snap.histogram("rcu", "synchronize_ns").unwrap().count, 1);
+/// }
+/// #[cfg(not(feature = "stats"))]
+/// assert!(snap.is_empty());
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    #[cfg(feature = "stats")]
+    inner: Option<Arc<Mutex<Vec<Registration>>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        #[cfg(feature = "stats")]
+        {
+            let n = self
+                .inner
+                .as_ref()
+                .and_then(|i| i.lock().ok().map(|v| v.len()))
+                .unwrap_or(0);
+            f.debug_struct("MetricsRegistry")
+                .field("metrics", &n)
+                .finish()
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            f.debug_struct("MetricsRegistry").finish()
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        #[cfg(feature = "stats")]
+        {
+            Self {
+                inner: Some(Arc::new(Mutex::new(Vec::new()))),
+            }
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            Self {}
+        }
+    }
+
+    #[cfg(feature = "stats")]
+    fn push(&self, component: &str, name: &str, instrument: Instrument) {
+        if let Some(inner) = &self.inner {
+            inner
+                .lock()
+                .expect("metrics registry poisoned")
+                .push(Registration {
+                    component: component.to_string(),
+                    name: name.to_string(),
+                    instrument,
+                });
+        }
+    }
+
+    /// Registers a counter under `(component, name)`; the registry keeps a
+    /// shared handle, so later increments show up in snapshots.
+    pub fn register_counter(&self, component: &str, name: &str, counter: &Counter) {
+        #[cfg(feature = "stats")]
+        self.push(component, name, Instrument::Counter(counter.clone()));
+        #[cfg(not(feature = "stats"))]
+        {
+            let _ = (component, name, counter);
+        }
+    }
+
+    /// Registers a histogram under `(component, name)`.
+    pub fn register_histogram(&self, component: &str, name: &str, histogram: &Log2Histogram) {
+        #[cfg(feature = "stats")]
+        self.push(component, name, Instrument::Histogram(histogram.clone()));
+        #[cfg(not(feature = "stats"))]
+        {
+            let _ = (component, name, histogram);
+        }
+    }
+
+    /// Registers a high-water mark under `(component, name)`.
+    pub fn register_hwm(&self, component: &str, name: &str, hwm: &HighWaterMark) {
+        #[cfg(feature = "stats")]
+        self.push(component, name, Instrument::HighWaterMark(hwm.clone()));
+        #[cfg(not(feature = "stats"))]
+        {
+            let _ = (component, name, hwm);
+        }
+    }
+
+    /// Freezes every registered metric. Always returns an (possibly
+    /// empty) snapshot, so callers need no feature gates.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        #[cfg(feature = "stats")]
+        {
+            if let Some(inner) = &self.inner {
+                let regs = inner.lock().expect("metrics registry poisoned");
+                return MetricsSnapshot {
+                    entries: regs
+                        .iter()
+                        .map(|r| MetricEntry {
+                            component: r.component.clone(),
+                            name: r.name.clone(),
+                            value: match &r.instrument {
+                                Instrument::Counter(c) => MetricValue::Count(c.get()),
+                                Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                                Instrument::HighWaterMark(m) => MetricValue::Maximum(m.get()),
+                            },
+                        })
+                        .collect(),
+                };
+            }
+            MetricsSnapshot::default()
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            MetricsSnapshot::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(not(feature = "stats"))]
+    use super::*;
+
+    #[cfg(not(feature = "stats"))]
+    #[test]
+    fn noop_registry_is_zero_sized_and_empty() {
+        assert_eq!(core::mem::size_of::<MetricsRegistry>(), 0);
+        let r = MetricsRegistry::new();
+        let c = Counter::new(1);
+        r.register_counter("x", "y", &c);
+        c.incr(0);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[cfg(feature = "stats")]
+    mod stats_on {
+        use super::super::*;
+
+        #[test]
+        fn snapshot_sees_updates_after_registration() {
+            let r = MetricsRegistry::new();
+            let c = Counter::new(2);
+            let h = Log2Histogram::new();
+            let m = HighWaterMark::new();
+            r.register_counter("tree", "restarts", &c);
+            r.register_histogram("rcu", "sync_ns", &h);
+            r.register_hwm("reclaim", "limbo", &m);
+
+            assert_eq!(r.snapshot().counter("tree", "restarts"), Some(0));
+            c.add(0, 5);
+            h.record(100);
+            m.observe(7);
+            let snap = r.snapshot();
+            assert_eq!(snap.counter("tree", "restarts"), Some(5));
+            assert_eq!(snap.histogram("rcu", "sync_ns").unwrap().count, 1);
+            assert_eq!(snap.maximum("reclaim", "limbo"), Some(7));
+            assert_eq!(snap.entries.len(), 3);
+        }
+
+        #[test]
+        fn snapshot_outlives_instrument_owner() {
+            let r = MetricsRegistry::new();
+            {
+                let c = Counter::new(1);
+                r.register_counter("gone", "count", &c);
+                c.add(0, 3);
+                // c dropped here; the registry's clone keeps the state.
+            }
+            assert_eq!(r.snapshot().counter("gone", "count"), Some(3));
+        }
+
+        #[test]
+        fn cloned_registry_shares_registrations() {
+            let r = MetricsRegistry::new();
+            let r2 = r.clone();
+            let c = Counter::new(1);
+            r2.register_counter("shared", "n", &c);
+            c.incr(0);
+            assert_eq!(r.snapshot().counter("shared", "n"), Some(1));
+        }
+
+        #[test]
+        fn concurrent_registration_and_snapshot() {
+            let r = MetricsRegistry::new();
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let r = r.clone();
+                    scope.spawn(move || {
+                        for i in 0..50 {
+                            let c = Counter::new(1);
+                            c.add(0, 1);
+                            r.register_counter("t", &format!("{t}-{i}"), &c);
+                            let _ = r.snapshot();
+                        }
+                    });
+                }
+            });
+            let snap = r.snapshot();
+            assert_eq!(snap.entries.len(), 200);
+            assert!(snap
+                .entries
+                .iter()
+                .all(|e| e.value == MetricValue::Count(1)));
+        }
+    }
+}

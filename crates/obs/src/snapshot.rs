@@ -1,0 +1,320 @@
+//! Point-in-time snapshots of registered metrics, with text-table and CSV
+//! rendering.
+
+use std::fmt;
+
+/// A frozen copy of a [`Log2Histogram`](crate::Log2Histogram).
+///
+/// `buckets[k]` counts values whose bit length is `k`: bucket 0 holds
+/// zeros, bucket `k > 0` holds values in `[2^(k-1), 2^k)`.
+///
+/// # Example
+///
+/// ```
+/// use citrus_obs::Log2Histogram;
+///
+/// let h = Log2Histogram::new();
+/// h.record(7);
+/// let snap = h.snapshot();
+/// #[cfg(feature = "stats")]
+/// assert_eq!(snap.mean(), 7.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bit-length bucket counts (65 entries when stats are on; empty
+    /// for a no-op histogram).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (what a no-op histogram returns).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Arithmetic mean of recorded values, or `0.0` if none.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the smallest bucket whose cumulative count reaches
+    /// quantile `q` (in `[0, 1]`), or `0` if the histogram is empty. A
+    /// coarse (power-of-two resolution) but allocation-free percentile.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                // Bucket k holds values < 2^k (k == 0 holds only zeros).
+                return if k == 0 {
+                    0
+                } else {
+                    1u64.checked_shl(k as u32).map_or(u64::MAX, |b| b - 1)
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// The value carried by one [`MetricEntry`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotone event count.
+    Count(u64),
+    /// A monotone maximum gauge.
+    Maximum(u64),
+    /// A value distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricEntry {
+    /// The component that registered the metric (e.g. `"rcu/scalable"`).
+    pub component: String,
+    /// The metric name within the component (e.g. `"synchronize_ns"`).
+    pub name: String,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of every metric in a
+/// [`MetricsRegistry`](crate::MetricsRegistry).
+///
+/// Always a real (non-gated) type so downstream code — reports, CSV
+/// emission, invariant checks — compiles identically with stats off; it is
+/// simply empty in that mode.
+///
+/// # Example
+///
+/// ```
+/// use citrus_obs::{Counter, MetricsRegistry};
+///
+/// let registry = MetricsRegistry::new();
+/// let c = Counter::new(1);
+/// registry.register_counter("tree", "restarts", &c);
+/// c.add(0, 3);
+/// let snap = registry.snapshot();
+/// #[cfg(feature = "stats")]
+/// assert_eq!(snap.counter("tree", "restarts"), Some(3));
+/// #[cfg(not(feature = "stats"))]
+/// assert!(snap.is_empty());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All entries, in registration order.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// `true` when no metrics were captured (always the case with stats
+    /// off).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a [`MetricValue::Count`] by component and name.
+    #[must_use]
+    pub fn counter(&self, component: &str, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|e| match &e.value {
+            MetricValue::Count(n) if e.component == component && e.name == name => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Looks up a [`MetricValue::Maximum`] by component and name.
+    #[must_use]
+    pub fn maximum(&self, component: &str, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|e| match &e.value {
+            MetricValue::Maximum(n) if e.component == component && e.name == name => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Looks up a [`MetricValue::Histogram`] by component and name.
+    #[must_use]
+    pub fn histogram(&self, component: &str, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().find_map(|e| match &e.value {
+            MetricValue::Histogram(h) if e.component == component && e.name == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Renders the snapshot as CSV with header
+    /// `component,metric,kind,count,sum,mean,max,p50,p99`.
+    ///
+    /// Counters and maxima fill only the columns that apply; histogram
+    /// rows carry the full distribution summary.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("component,metric,kind,count,sum,mean,max,p50,p99\n");
+        for e in &self.entries {
+            match &e.value {
+                MetricValue::Count(n) => {
+                    out.push_str(&format!("{},{},counter,{n},{n},,,,\n", e.component, e.name));
+                }
+                MetricValue::Maximum(n) => {
+                    out.push_str(&format!("{},{},maximum,,,,{n},,\n", e.component, e.name));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{},{},histogram,{},{},{:.1},{},{},{}\n",
+                        e.component,
+                        e.name,
+                        h.count,
+                        h.sum,
+                        h.mean(),
+                        h.max,
+                        h.quantile_upper_bound(0.50),
+                        h.quantile_upper_bound(0.99),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return writeln!(f, "(no metrics collected — built without `stats`)");
+        }
+        let comp_w = self
+            .entries
+            .iter()
+            .map(|e| e.component.chars().count())
+            .chain(std::iter::once("component".len()))
+            .max()
+            .unwrap_or(0);
+        writeln!(
+            f,
+            "{:<comp_w$} {:<24} {:>12} {:>14} {:>10} {:>10}",
+            "component", "metric", "count", "sum/max", "mean", "p99"
+        )?;
+        for e in &self.entries {
+            match &e.value {
+                MetricValue::Count(n) => writeln!(
+                    f,
+                    "{:<comp_w$} {:<24} {:>12} {:>14} {:>10} {:>10}",
+                    e.component, e.name, n, "-", "-", "-"
+                )?,
+                MetricValue::Maximum(n) => writeln!(
+                    f,
+                    "{:<comp_w$} {:<24} {:>12} {:>14} {:>10} {:>10}",
+                    e.component, e.name, "-", n, "-", "-"
+                )?,
+                MetricValue::Histogram(h) => writeln!(
+                    f,
+                    "{:<comp_w$} {:<24} {:>12} {:>14} {:>10.0} {:>10}",
+                    e.component,
+                    e.name,
+                    h.count,
+                    h.max,
+                    h.mean(),
+                    h.quantile_upper_bound(0.99),
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut hist = HistogramSnapshot {
+            count: 3,
+            sum: 7,
+            max: 4,
+            buckets: vec![0; 65],
+        };
+        hist.buckets[1] = 2; // two 1s
+        hist.buckets[3] = 1; // one value in [4, 8)
+        MetricsSnapshot {
+            entries: vec![
+                MetricEntry {
+                    component: "rcu/scalable".into(),
+                    name: "synchronize_calls".into(),
+                    value: MetricValue::Count(42),
+                },
+                MetricEntry {
+                    component: "reclaim".into(),
+                    name: "limbo_depth_hwm".into(),
+                    value: MetricValue::Maximum(9),
+                },
+                MetricEntry {
+                    component: "rcu/scalable".into(),
+                    name: "synchronize_ns".into(),
+                    value: MetricValue::Histogram(hist),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lookups_find_by_kind_and_name() {
+        let s = sample();
+        assert_eq!(s.counter("rcu/scalable", "synchronize_calls"), Some(42));
+        assert_eq!(s.counter("rcu/scalable", "synchronize_ns"), None); // wrong kind
+        assert_eq!(s.maximum("reclaim", "limbo_depth_hwm"), Some(9));
+        assert_eq!(
+            s.histogram("rcu/scalable", "synchronize_ns").unwrap().count,
+            3
+        );
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let s = sample();
+        let h = s.histogram("rcu/scalable", "synchronize_ns").unwrap();
+        // p50 lands in bucket 1 (values < 2), p99 in bucket 3 (values < 8).
+        assert_eq!(h.quantile_upper_bound(0.50), 1);
+        assert_eq!(h.quantile_upper_bound(0.99), 7);
+        assert_eq!(h.mean(), 7.0 / 3.0);
+        assert_eq!(HistogramSnapshot::empty().quantile_upper_bound(0.99), 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_entry() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "component,metric,kind,count,sum,mean,max,p50,p99");
+        assert!(lines[1].starts_with("rcu/scalable,synchronize_calls,counter,42"));
+        assert!(lines[2].starts_with("reclaim,limbo_depth_hwm,maximum"));
+        assert!(lines[3].starts_with("rcu/scalable,synchronize_ns,histogram,3,7,2.3,4,1,7"));
+    }
+
+    #[test]
+    fn display_renders_every_entry() {
+        let text = sample().to_string();
+        assert!(text.contains("synchronize_calls"));
+        assert!(text.contains("limbo_depth_hwm"));
+        assert!(text.contains("synchronize_ns"));
+        let empty = MetricsSnapshot::default().to_string();
+        assert!(empty.contains("no metrics collected"));
+    }
+}

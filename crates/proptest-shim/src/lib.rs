@@ -1,0 +1,591 @@
+//! A vendored, dependency-free subset of the `proptest` API.
+//!
+//! This workspace builds in fully offline environments, so it cannot pull
+//! the real `proptest` from crates.io. This shim implements exactly the
+//! surface our test suites use — [`Strategy`], [`any`], `prop_oneof!`,
+//! `proptest!`, `prop_assert!`/`prop_assert_eq!`, `prop::collection::{vec,
+//! btree_set}`, and [`ProptestConfig`] — with deterministic SplitMix64
+//! generation and **no shrinking** (a failing case reports its seed so it
+//! can be replayed by rerunning the test).
+//!
+//! Semantics intentionally match real proptest closely enough that swapping
+//! the workspace dependency back to the crates.io crate requires no test
+//! changes.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator state handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Why a single generated test case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion made with `prop_assert!`/`prop_assert_eq!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Types with a canonical uniform strategy; see [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates one uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })+
+    };
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical uniform strategy for `T` (e.g. `any::<u8>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Uniform choice among boxed alternatives; used by `prop_oneof!`.
+pub fn one_of<T>(alternatives: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(
+        !alternatives.is_empty(),
+        "prop_oneof! needs at least one arm"
+    );
+    OneOf { alternatives }
+}
+
+/// Strategy produced by [`one_of`] / `prop_oneof!`.
+pub struct OneOf<T> {
+    alternatives: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.alternatives.len() as u64) as usize;
+        self.alternatives[i].generate(rng)
+    }
+}
+
+impl<T> fmt::Debug for OneOf<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OneOf")
+            .field("alternatives", &self.alternatives.len())
+            .finish()
+    }
+}
+
+/// A size specification for collection strategies (`1..400`, `1..=64`).
+pub trait SizeRange {
+    /// Lower bound (inclusive) and upper bound (inclusive).
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end())
+    }
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+/// Collection strategies: `prop::collection::{vec, btree_set}`.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Generates `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s whose size is drawn from `size` (best effort:
+    /// if the element domain is too small to reach the drawn size, the set
+    /// may come out smaller, but never below one element for nonzero
+    /// minimums with a nonempty domain).
+    pub fn btree_set<S>(element: S, size: impl SizeRange) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        let (min, max) = size.bounds();
+        BTreeSetStrategy { element, min, max }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            let mut set = BTreeSet::new();
+            // Bounded attempts so tiny element domains cannot loop forever.
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(64) + 256 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __runner {
+    use super::{ProptestConfig, Strategy, TestCaseError, TestRng};
+
+    /// Base seed; override with `PROPTEST_SEED` for replay.
+    fn base_seed(test_name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.trim().parse::<u64>() {
+                return v;
+            }
+        }
+        // FNV-1a over the test name: stable across runs, distinct per test.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `f` on `config.cases` generated inputs, panicking on the first
+    /// failure with enough context to replay it.
+    pub fn run<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, f: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = base_seed(test_name);
+        for case in 0..config.cases {
+            let seed = base.wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9));
+            let mut rng = TestRng::new(seed);
+            let input = strategy.generate(&mut rng);
+            if let Err(TestCaseError::Fail(msg)) = f(input) {
+                panic!(
+                    "proptest case {case}/{cases} failed (replay with \
+                     PROPTEST_SEED={base}): {msg}",
+                    cases = config.cases,
+                );
+            }
+        }
+    }
+}
+
+/// Everything the tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, Arbitrary, BoxedStrategy, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current test case with a formatted message unless `cond`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice among strategy arms (unweighted subset of proptest's
+/// `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares `#[test]` functions over generated inputs (subset of
+/// proptest's `proptest!`: one `pattern in strategy` binding per test, an
+/// optional leading `#![proptest_config(..)]`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($binding:pat in $strategy:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = $strategy;
+                $crate::__runner::run(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &strategy,
+                    |$binding| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($binding:pat in $strategy:expr) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($binding in $strategy) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::new(7);
+        let mut b = crate::TestRng::new(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn any_and_map_generate() {
+        let s = any::<u8>().prop_map(u64::from);
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) <= u64::from(u8::MAX));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = prop_oneof![
+            any::<u8>().prop_map(|_| 0u8),
+            any::<u8>().prop_map(|_| 1u8),
+            any::<u8>().prop_map(|_| 2u8),
+        ];
+        let mut rng = crate::TestRng::new(3);
+        let seen: BTreeSet<u8> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert_eq!(seen.len(), 3, "some arm never generated: {seen:?}");
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let s = prop::collection::vec(any::<u8>(), 2..10);
+        let mut rng = crate::TestRng::new(5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..10).contains(&v.len()), "len {} out of range", v.len());
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_upper_bound() {
+        let s = prop::collection::btree_set(any::<u8>(), 1..=64);
+        let mut rng = crate::TestRng::new(9);
+        for _ in 0..100 {
+            let set = s.generate(&mut rng);
+            assert!(!set.is_empty() && set.len() <= 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_asserts(ops in prop::collection::vec(any::<u8>(), 1..50)) {
+            prop_assert!(!ops.is_empty());
+            prop_assert_eq!(ops.len(), ops.iter().fold(0, |n, _| n + 1), "length {}", ops.len());
+        }
+
+        #[test]
+        fn macro_supports_mut_bindings(mut keys in prop::collection::btree_set(any::<u8>(), 1..=16)) {
+            let first = *keys.iter().next().expect("nonempty");
+            keys.remove(&first);
+            prop_assert!(keys.len() <= 15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_seed() {
+        crate::__runner::run(
+            &ProptestConfig::with_cases(4),
+            "shim::failing",
+            &any::<u8>(),
+            |_| Err(TestCaseError::fail("forced")),
+        );
+    }
+}

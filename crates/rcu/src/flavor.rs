@@ -2,6 +2,7 @@
 //! (`rcu_read_lock`, `rcu_read_unlock`, `synchronize_rcu`), expressed as a
 //! per-thread handle so implementations can keep per-thread reader state.
 
+use crate::metrics::RcuMetrics;
 use core::fmt;
 
 /// An RCU implementation ("flavor", in liburcu terminology).
@@ -47,6 +48,12 @@ pub trait RcuFlavor: Send + Sync + Default + 'static {
     /// Total number of grace periods completed in this domain
     /// (diagnostics; approximate under concurrency).
     fn grace_periods(&self) -> u64;
+
+    /// This domain's metric instruments (no-ops unless the crate is built
+    /// with the `stats` feature). Register them into a
+    /// [`citrus_obs::MetricsRegistry`] with
+    /// [`RcuMetrics::register_into`].
+    fn metrics(&self) -> &RcuMetrics;
 }
 
 /// Per-thread RCU participant: read-side critical sections and grace-period

@@ -25,6 +25,8 @@
 //! coordination.
 
 use crate::flavor::{RcuFlavor, RcuHandle};
+use crate::metrics::RcuMetrics;
+use citrus_obs::Stopwatch;
 use citrus_sync::{Backoff, CachePadded, Registry, SlotHandle, SpinMutex};
 use core::cell::Cell;
 use core::fmt;
@@ -71,6 +73,7 @@ pub struct GlobalLockRcu {
     gp_phase: AtomicU64,
     registry: Registry<ReaderSlot>,
     grace_periods: AtomicU64,
+    metrics: RcuMetrics,
 }
 
 impl GlobalLockRcu {
@@ -81,6 +84,7 @@ impl GlobalLockRcu {
             gp_phase: AtomicU64::new(PHASE_ONE),
             registry: Registry::new(),
             grace_periods: AtomicU64::new(0),
+            metrics: RcuMetrics::new(),
         }
     }
 }
@@ -112,11 +116,16 @@ impl RcuFlavor for GlobalLockRcu {
             domain: self,
             slot,
             nesting: Cell::new(0),
+            stripe: self.metrics.assign_stripe(),
         }
     }
 
     fn grace_periods(&self) -> u64 {
         self.grace_periods.load(Ordering::Relaxed)
+    }
+
+    fn metrics(&self) -> &RcuMetrics {
+        &self.metrics
     }
 }
 
@@ -125,6 +134,8 @@ pub struct GlobalLockRcuHandle<'d> {
     domain: &'d GlobalLockRcu,
     slot: SlotHandle<'d, ReaderSlot>,
     nesting: Cell<u32>,
+    /// This handle's metric-counter stripe.
+    stripe: usize,
 }
 
 impl RcuHandle for GlobalLockRcuHandle<'_> {
@@ -138,6 +149,7 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
             // Pair with the synchronizer's fence: it either sees us active,
             // or we see all its pre-grace-period stores.
             fence(Ordering::SeqCst);
+            self.domain.metrics.record_read_section(self.stripe);
         }
     }
 
@@ -159,6 +171,9 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
             "synchronize_rcu inside a read-side critical section would self-deadlock"
         );
         let domain = self.domain;
+        // Time from before lock acquisition: queueing behind other
+        // synchronizers is precisely the latency Fig. 8 is about.
+        let stopwatch = Stopwatch::start();
         // === The global lock: all synchronizers serialize here. ===
         let _gp = domain.gp_lock.lock();
         fence(Ordering::SeqCst);
@@ -187,6 +202,9 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
         }
         fence(Ordering::SeqCst);
         domain.grace_periods.fetch_add(1, Ordering::Relaxed);
+        domain
+            .metrics
+            .record_synchronize(self.stripe, stopwatch.elapsed_ns());
     }
 
     #[inline]

@@ -65,10 +65,12 @@
 
 mod flavor;
 mod global_lock;
+mod metrics;
 mod scalable;
 
 pub use flavor::{RcuFlavor, RcuHandle, RcuReadGuard};
 pub use global_lock::{GlobalLockRcu, GlobalLockRcuHandle};
+pub use metrics::RcuMetrics;
 pub use scalable::{ScalableRcu, ScalableRcuHandle};
 
 #[cfg(test)]

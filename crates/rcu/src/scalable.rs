@@ -18,6 +18,8 @@
 //! acquire any locks."
 
 use crate::flavor::{RcuFlavor, RcuHandle};
+use crate::metrics::RcuMetrics;
+use citrus_obs::Stopwatch;
 use citrus_sync::{Backoff, CachePadded, Registry, SlotHandle};
 use core::cell::Cell;
 use core::fmt;
@@ -60,6 +62,7 @@ impl ReaderSlot {
 pub struct ScalableRcu {
     registry: Registry<ReaderSlot>,
     grace_periods: AtomicU64,
+    metrics: RcuMetrics,
 }
 
 impl ScalableRcu {
@@ -68,6 +71,7 @@ impl ScalableRcu {
         Self {
             registry: Registry::new(),
             grace_periods: AtomicU64::new(0),
+            metrics: RcuMetrics::new(),
         }
     }
 }
@@ -102,11 +106,16 @@ impl RcuFlavor for ScalableRcu {
             domain: self,
             slot,
             nesting: Cell::new(0),
+            stripe: self.metrics.assign_stripe(),
         }
     }
 
     fn grace_periods(&self) -> u64 {
         self.grace_periods.load(Ordering::Relaxed)
+    }
+
+    fn metrics(&self) -> &RcuMetrics {
+        &self.metrics
     }
 }
 
@@ -116,6 +125,8 @@ pub struct ScalableRcuHandle<'d> {
     slot: SlotHandle<'d, ReaderSlot>,
     /// Read-side nesting depth; only the outermost level touches `word`.
     nesting: Cell<u32>,
+    /// This handle's metric-counter stripe.
+    stripe: usize,
 }
 
 impl RcuHandle for ScalableRcuHandle<'_> {
@@ -134,6 +145,7 @@ impl RcuHandle for ScalableRcuHandle<'_> {
             // the synchronizer sees our flag, or we see every store it made
             // before synchronizing.
             fence(Ordering::SeqCst);
+            self.domain.metrics.record_read_section(self.stripe);
         }
     }
 
@@ -158,6 +170,7 @@ impl RcuHandle for ScalableRcuHandle<'_> {
             !self.in_read_section(),
             "synchronize_rcu inside a read-side critical section would self-deadlock"
         );
+        let stopwatch = Stopwatch::start();
         // Order the caller's prior stores (e.g. unlinking a node) before the
         // reader-state scan: any reader that starts after this fence will
         // observe those stores, so only readers whose flag we see can hold
@@ -188,6 +201,9 @@ impl RcuHandle for ScalableRcuHandle<'_> {
         // sections read happens-before our return.
         fence(Ordering::SeqCst);
         self.domain.grace_periods.fetch_add(1, Ordering::Relaxed);
+        self.domain
+            .metrics
+            .record_synchronize(self.stripe, stopwatch.elapsed_ns());
     }
 
     #[inline]

@@ -51,6 +51,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod metrics;
+
+pub use metrics::ReclaimMetrics;
+
 use citrus_sync::{CachePadded, Registry, SlotHandle, SpinMutex};
 use core::cell::{Cell, RefCell};
 use core::fmt;
@@ -129,6 +133,7 @@ pub struct EbrDomain {
     orphans: SpinMutex<Vec<Retired>>,
     /// Diagnostics: total objects freed after a grace period.
     freed: AtomicU64,
+    metrics: ReclaimMetrics,
 }
 
 impl EbrDomain {
@@ -140,6 +145,7 @@ impl EbrDomain {
             registry: Registry::new(),
             orphans: SpinMutex::new(Vec::new()),
             freed: AtomicU64::new(0),
+            metrics: ReclaimMetrics::new(),
         }
     }
 
@@ -153,7 +159,14 @@ impl EbrDomain {
             pin_depth: Cell::new(0),
             garbage: RefCell::new(Vec::new()),
             since_collect: Cell::new(0),
+            stripe: self.metrics.assign_stripe(),
         }
+    }
+
+    /// This domain's metric instruments (no-ops unless the crate is built
+    /// with the `stats` feature).
+    pub fn metrics(&self) -> &ReclaimMetrics {
+        &self.metrics
     }
 
     /// The current global epoch (diagnostics).
@@ -194,11 +207,14 @@ impl EbrDomain {
     /// Frees every element of `bag` whose grace period has elapsed at
     /// `global`, keeping the rest.
     ///
+    /// Frees expired elements, returning how many it freed.
+    ///
     /// # Safety
     ///
     /// `bag` elements must have been retired per [`EbrHandle::retire`]'s
     /// contract.
-    unsafe fn free_expired(&self, bag: &mut Vec<Retired>, global: u64) {
+    unsafe fn free_expired(&self, bag: &mut Vec<Retired>, global: u64) -> usize {
+        let mut freed = 0;
         let mut i = 0;
         while i < bag.len() {
             if bag[i].epoch + GRACE_EPOCHS <= global {
@@ -206,11 +222,13 @@ impl EbrDomain {
                 // SAFETY: two epochs have passed since retirement; by the
                 // EBR argument no thread still holds a reference.
                 unsafe { r.free() };
-                self.freed.fetch_add(1, Ordering::Relaxed);
+                freed += 1;
             } else {
                 i += 1;
             }
         }
+        self.freed.fetch_add(freed as u64, Ordering::Relaxed);
+        freed
     }
 }
 
@@ -252,6 +270,8 @@ pub struct EbrHandle<'d> {
     pin_depth: Cell<u32>,
     garbage: RefCell<Vec<Retired>>,
     since_collect: Cell<usize>,
+    /// This handle's metric-counter stripe.
+    stripe: usize,
 }
 
 impl<'d> EbrHandle<'d> {
@@ -294,7 +314,12 @@ impl<'d> EbrHandle<'d> {
         let epoch = self.domain.global_epoch.load(Ordering::Relaxed);
         // SAFETY: ownership transferred per this function's contract.
         let retired = unsafe { Retired::new(ptr, epoch) };
-        self.garbage.borrow_mut().push(retired);
+        let limbo_depth = {
+            let mut garbage = self.garbage.borrow_mut();
+            garbage.push(retired);
+            garbage.len()
+        };
+        self.domain.metrics.record_retire(self.stripe, limbo_depth);
         let n = self.since_collect.get() + 1;
         self.since_collect.set(n);
         if n >= COLLECT_EVERY {
@@ -311,13 +336,14 @@ impl<'d> EbrHandle<'d> {
         let global = self.domain.try_advance();
         let mut garbage = self.garbage.borrow_mut();
         // SAFETY: elements were retired under `retire`'s contract.
-        unsafe { self.domain.free_expired(&mut garbage, global) };
+        let mut freed = unsafe { self.domain.free_expired(&mut garbage, global) };
 
         // Opportunistically drain expired orphans left by departed threads.
         if let Some(mut orphans) = self.domain.orphans.try_lock() {
             // SAFETY: as above.
-            unsafe { self.domain.free_expired(&mut orphans, global) };
+            freed += unsafe { self.domain.free_expired(&mut orphans, global) };
         }
+        self.domain.metrics.record_collect(freed);
     }
 
     /// Number of objects retired by this handle and not yet freed.

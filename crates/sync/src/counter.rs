@@ -57,10 +57,7 @@ impl StripedCounter {
     /// writes it is a linearizable-per-stripe snapshot (monotone lower
     /// bound).
     pub fn sum(&self) -> u64 {
-        self.stripes
-            .iter()
-            .map(|s| s.load(Ordering::Relaxed))
-            .sum()
+        self.stripes.iter().map(|s| s.load(Ordering::Relaxed)).sum()
     }
 
     /// Number of stripes.

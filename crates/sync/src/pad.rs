@@ -27,10 +27,7 @@ use core::ops::{Deref, DerefMut};
 /// let slot = ReaderSlot { word: CachePadded::new(AtomicU64::new(0)) };
 /// assert_eq!(core::mem::align_of_val(&slot.word), 128);
 /// ```
-#[cfg_attr(
-    any(target_arch = "x86_64", target_arch = "aarch64"),
-    repr(align(128))
-)]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), repr(align(128)))]
 #[cfg_attr(
     not(any(target_arch = "x86_64", target_arch = "aarch64")),
     repr(align(64))

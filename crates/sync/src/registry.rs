@@ -74,11 +74,7 @@ impl<T> Registry<T> {
     /// callers must make the released state and the reset state equivalent
     /// for their protocol — e.g. "not inside a critical section").
     /// Otherwise a fresh slot is created with `init`.
-    pub fn register(
-        &self,
-        init: impl FnOnce() -> T,
-        reuse: impl FnOnce(&T),
-    ) -> SlotHandle<'_, T> {
+    pub fn register(&self, init: impl FnOnce() -> T, reuse: impl FnOnce(&T)) -> SlotHandle<'_, T> {
         // Try to reuse a released slot.
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {

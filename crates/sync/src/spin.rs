@@ -180,7 +180,10 @@ impl<T: fmt::Debug> fmt::Debug for SpinMutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.try_lock() {
             Some(guard) => f.debug_struct("SpinMutex").field("data", &*guard).finish(),
-            None => f.debug_struct("SpinMutex").field("data", &"<locked>").finish(),
+            None => f
+                .debug_struct("SpinMutex")
+                .field("data", &"<locked>")
+                .finish(),
         }
     }
 }

@@ -52,12 +52,13 @@ fn main() {
         }),
     ];
 
-    let best = results
-        .iter()
-        .map(|(_, t)| *t)
-        .fold(f64::MIN, f64::max);
+    let best = results.iter().map(|(_, t)| *t).fold(f64::MIN, f64::max);
     for (name, tp) in &results {
-        let marker = if (*tp - best).abs() < f64::EPSILON { "  ◀ best" } else { "" };
+        let marker = if (*tp - best).abs() < f64::EPSILON {
+            "  ◀ best"
+        } else {
+            ""
+        };
         println!("{name:<26}{tp:>14.0}{marker}");
     }
     println!(

@@ -51,7 +51,9 @@ fn main() {
     // structural checks — concurrent multi-key reads are exactly what
     // RCU with concurrent updaters cannot linearize (paper, Figure 1).
     let mut tree = tree;
-    let stats = tree.validate_structure().expect("structural invariants hold");
+    let stats = tree
+        .validate_structure()
+        .expect("structural invariants hold");
     println!(
         "final tree: {} keys, height {} (internal BST, unbalanced)",
         stats.len, stats.height

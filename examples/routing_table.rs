@@ -99,6 +99,9 @@ fn main() {
     let mut session = table.session();
     let mut rng = SplitMix64::new(42);
     let p = rng.below(1 << 24);
-    assert!(session.get(&p).is_some(), "first installed route must resolve");
+    assert!(
+        session.get(&p).is_some(),
+        "first installed route must resolve"
+    );
     println!("spot check passed: first installed prefix still resolves");
 }
