@@ -29,7 +29,10 @@ use crate::{ConcurrentMap, MapSession};
 use citrus_obs::MetricsSnapshot;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+pub use citrus_chaos::{chaos_enabled, install as install_chaos, ChaosGuard, ChaosPlan};
 
 /// Deterministic 64-bit PRNG (SplitMix64), dependency-free.
 ///
@@ -446,6 +449,126 @@ pub fn check_counter_dominates(
     );
 }
 
+/// Iteration count for concurrent/stress tests: the value of the
+/// `CITRUS_STRESS_ITERS` environment variable when set and parseable,
+/// otherwise `default`.
+///
+/// Lets CI dial the whole suite's stress volume up (soak runs) or down
+/// (sanitizer builds) without touching individual tests.
+pub fn stress_iters(default: u64) -> u64 {
+    match std::env::var("CITRUS_STRESS_ITERS") {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// Guard for a running [`stress_watchdog`]; dropping it disarms the
+/// watchdog (the test finished in time).
+#[derive(Debug)]
+pub struct StressWatchdog {
+    state: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Drop for StressWatchdog {
+    fn drop(&mut self) {
+        let (done, cvar) = &*self.state;
+        *done.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+}
+
+/// Arms a wall-clock watchdog for a concurrent test: if the returned guard
+/// is not dropped within `CITRUS_STRESS_TIMEOUT_SECS` seconds (default
+/// 300; `0` disables), the process prints a diagnostic naming `test` and
+/// exits with code 124 — a livelocked test fails loudly instead of hanging
+/// CI until the runner's global timeout reaps it with no indication of
+/// which test wedged.
+pub fn stress_watchdog(test: &str) -> StressWatchdog {
+    let timeout_secs = match std::env::var("CITRUS_STRESS_TIMEOUT_SECS") {
+        Ok(v) => v.trim().parse().unwrap_or(300),
+        Err(_) => 300,
+    };
+    let state = Arc::new((Mutex::new(false), Condvar::new()));
+    if timeout_secs > 0 {
+        let pair = Arc::clone(&state);
+        let test = test.to_string();
+        std::thread::spawn(move || {
+            let (done, cvar) = &*pair;
+            let limit = Duration::from_secs(timeout_secs);
+            let started = Instant::now();
+            let mut finished = done.lock().unwrap();
+            while !*finished {
+                match limit.checked_sub(started.elapsed()) {
+                    Some(remaining) => {
+                        finished = cvar.wait_timeout(finished, remaining).unwrap().0;
+                    }
+                    None => {
+                        eprintln!(
+                            "[citrus-testkit] stress watchdog: test '{test}' still running after \
+                             {timeout_secs}s — likely livelocked. Aborting with exit code 124. \
+                             Tune with CITRUS_STRESS_TIMEOUT_SECS / CITRUS_STRESS_ITERS."
+                        );
+                        std::process::exit(124);
+                    }
+                }
+            }
+        });
+    }
+    StressWatchdog { state }
+}
+
+/// Runs a reduced conformance battery against `make()`-produced maps under
+/// an installed [`ChaosPlan`] for `seed`.
+///
+/// With the `chaos` cargo feature enabled this perturbs schedules (yields,
+/// spin-delays, forced validation restarts) at every failpoint the seed
+/// selects; without it the install is a no-op and this is a plain small
+/// battery. A seed that fails here is a one-line regression test:
+///
+/// ```ignore
+/// testkit::check_chaos_seed(MyMap::new, 0xBAD_5EED);
+/// ```
+pub fn check_chaos_seed<M, F>(make: F, seed: u64)
+where
+    M: ConcurrentMap<u64, u64>,
+    F: Fn() -> M,
+{
+    let _chaos = install_chaos(ChaosPlan::from_seed(seed));
+    let map = make();
+    check_sequential_model(&map, 400, 64, seed);
+    check_duplicate_inserts(&map);
+    // Fresh maps below: the lost-updates check asserts its inserts hit
+    // absent keys, and the mixed check audits against its own tagged
+    // values — residue from the sequential model would fail both.
+    let map = make();
+    check_lost_updates(&map, 4, 64);
+    let map = make();
+    check_mixed_quiescent_consistency(&map, 4, 300, 32);
+}
+
+/// Sweeps `count` consecutive chaos schedule seeds starting at
+/// `base_seed` through [`check_chaos_seed`], printing the replay recipe
+/// for any seed that fails before re-raising its panic.
+pub fn sweep_chaos_seeds<M, F>(make: F, base_seed: u64, count: u64)
+where
+    M: ConcurrentMap<u64, u64>,
+    F: Fn() -> M,
+{
+    for i in 0..count {
+        let seed = base_seed.wrapping_add(i);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_chaos_seed(&make, seed);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "[citrus-testkit] chaos seed {seed:#x} FAILED — pin it as a regression test: \
+                 check_chaos_seed(<make>, {seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,5 +654,19 @@ mod tests {
     fn missing_counter_panics() {
         let snap = snapshot_with(&[("rcu", "gp", 3)]);
         check_counter_dominates(&snap, ("rcu", "gp"), ("citrus", "sync"));
+    }
+
+    #[test]
+    fn stress_iters_falls_back_to_default() {
+        // CITRUS_STRESS_ITERS is unset in normal test runs.
+        if std::env::var("CITRUS_STRESS_ITERS").is_err() {
+            assert_eq!(stress_iters(37), 37);
+        }
+    }
+
+    #[test]
+    fn stress_watchdog_disarms_on_drop() {
+        // Dropping the guard must not terminate the process.
+        drop(stress_watchdog("stress_watchdog_disarms_on_drop"));
     }
 }

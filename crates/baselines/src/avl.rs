@@ -28,6 +28,7 @@
 
 use crate::graveyard::Graveyard;
 use citrus_api::{ConcurrentMap, MapSession};
+use citrus_chaos as chaos;
 use citrus_sync::{Backoff, RawSpinLock};
 use core::cmp::Ordering as CmpOrdering;
 use core::fmt;
@@ -188,6 +189,8 @@ where
         // SAFETY (whole fn): nodes live until drop; all loads atomic.
         unsafe {
             'retry: loop {
+                // A descent paused here races full rebalances at the root.
+                chaos::point("baseline-avl/locate/retry");
                 let mut prev = self.root_holder;
                 let mut prev_v = (*prev).version.load(Ordering::Acquire);
                 let mut dir = R;
@@ -274,6 +277,9 @@ where
                     }
                 }
                 Located::Miss(prev, prev_v, dir) => {
+                    // The locate→lock window: `prev` may shrink or gain a
+                    // child first, which the version re-check catches.
+                    chaos::point("baseline-avl/insert/before-lock");
                     // SAFETY: as above.
                     unsafe {
                         (*prev).lock.lock();

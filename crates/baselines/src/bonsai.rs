@@ -23,6 +23,7 @@
 
 use crate::graveyard::Graveyard;
 use citrus_api::{ConcurrentMap, MapSession};
+use citrus_chaos as chaos;
 use citrus_rcu::{RcuFlavor, RcuHandle, ScalableRcu};
 use citrus_sync::SpinMutex;
 use core::cmp::Ordering as CmpOrdering;
@@ -309,6 +310,8 @@ where
     fn insert(&mut self, key: K, value: V) -> bool {
         let tree = self.tree;
         let _w = tree.write_lock.lock();
+        // Readers run concurrently with the path-copying below.
+        chaos::point("baseline-bonsai/write/critical");
         let root = tree.root.load(Ordering::Relaxed); // sole writer
         match tree.ins(root, &key, &value) {
             Some(new_root) => {
@@ -322,6 +325,7 @@ where
     fn remove(&mut self, key: &K) -> bool {
         let tree = self.tree;
         let _w = tree.write_lock.lock();
+        chaos::point("baseline-bonsai/write/critical");
         let root = tree.root.load(Ordering::Relaxed);
         match tree.del(root, key) {
             Some(new_root) => {

@@ -22,6 +22,7 @@
 
 use crate::graveyard::Graveyard;
 use citrus_api::{ConcurrentMap, MapSession};
+use citrus_chaos as chaos;
 use core::cmp::Ordering as CmpOrdering;
 use core::fmt;
 use core::marker::PhantomData;
@@ -317,6 +318,9 @@ where
                 };
                 self.arena.push(new_leaf);
                 self.arena.push(new_internal);
+                // The seek→CAS window: the edge may be flagged or replaced
+                // first, failing the CAS below.
+                chaos::point("baseline-lockfree/insert/before-cas");
                 match parent.child[dir].compare_exchange(
                     expected,
                     new_internal as usize,
@@ -353,6 +357,8 @@ where
                     }
                     let parent = &*s.parent;
                     let dir = Self::dir(parent, key);
+                    // The seek→CAS window for the injection flag.
+                    chaos::point("baseline-lockfree/remove/before-cas");
                     match parent.child[dir].compare_exchange(
                         leaf as usize,
                         leaf as usize | FLAG,

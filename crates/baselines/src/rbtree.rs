@@ -20,6 +20,7 @@
 
 use crate::graveyard::Graveyard;
 use citrus_api::{ConcurrentMap, MapSession};
+use citrus_chaos as chaos;
 use citrus_rcu::{RcuFlavor, RcuHandle, ScalableRcu};
 use citrus_sync::SpinMutex;
 use core::cmp::Ordering as CmpOrdering;
@@ -495,11 +496,14 @@ where
 
     fn insert(&mut self, key: K, value: V) -> bool {
         let _w = self.tree.write_lock.lock();
+        // Readers run concurrently with whatever this writer does next.
+        chaos::point("baseline-rbtree/write/critical");
         self.tree.insert_locked(key, value)
     }
 
     fn remove(&mut self, key: &K) -> bool {
         let _w = self.tree.write_lock.lock();
+        chaos::point("baseline-rbtree/write/critical");
         self.tree.remove_locked(key, &self.rcu)
     }
 }

@@ -13,6 +13,7 @@
 use crate::graveyard::Graveyard;
 use citrus_api::testkit::SplitMix64;
 use citrus_api::{ConcurrentMap, MapSession};
+use citrus_chaos as chaos;
 use citrus_sync::{Backoff, RawSpinLock};
 use core::cmp::Ordering as CmpOrdering;
 use core::fmt;
@@ -272,6 +273,9 @@ where
                 continue;
             }
 
+            // The find→lock window: any predecessor may be marked or
+            // re-linked before we lock it, which validation re-checks.
+            chaos::point("baseline-skiplist/add/before-validate");
             // Lock distinct predecessors bottom-up and validate.
             let mut locked: Vec<*mut SkipNode<K, V>> = Vec::with_capacity(top + 1);
             let mut valid = true;
@@ -357,6 +361,9 @@ where
                     is_marked = true;
                 }
 
+                // The victim is marked but still linked — the window other
+                // threads observe a logically deleted node.
+                chaos::point("baseline-skiplist/remove/before-validate");
                 // Physical unlink: lock predecessors, validate, splice.
                 let mut locked: Vec<*mut SkipNode<K, V>> = Vec::with_capacity(top + 1);
                 let mut valid = true;

@@ -2,7 +2,7 @@
 //! coverage, AVL double rotations and routing-node churn, skiplist tower
 //! extremes, lock-free helping, Bonsai rebalancing under skew.
 
-use citrus_api::testkit::SplitMix64;
+use citrus_api::testkit::{self, SplitMix64};
 use citrus_api::{ConcurrentMap, MapSession};
 use citrus_baselines::{
     BonsaiTree, LazySkipList, LockFreeBst, OptimisticAvlTree, RelativisticRbTree,
@@ -18,7 +18,7 @@ fn permutation_torture<M: ConcurrentMap<u64, u64>>(make: impl Fn() -> M) {
     // 7! = 5040 insertion orders is too many to cross with deletions;
     // use a deterministic sample of orders instead.
     let mut rng = SplitMix64::new(0x9E9E);
-    for _ in 0..60 {
+    for _ in 0..testkit::stress_iters(60) {
         // Random insertion order of 0..12.
         let mut keys: Vec<u64> = (0..12).collect();
         for i in (1..keys.len()).rev() {
@@ -143,9 +143,9 @@ fn skiplist_tower_extremes() {
 /// helping path (cleanup of a flagged edge found by the other delete).
 #[test]
 fn lockfree_sibling_delete_helping() {
-    const ROUNDS: u64 = 300;
+    let _watchdog = testkit::stress_watchdog("lockfree_sibling_delete_helping");
     let tree = LockFreeBst::<u64, u64>::new();
-    for r in 0..ROUNDS {
+    for r in 0..testkit::stress_iters(300) {
         let (a, b) = (r * 10 + 1, r * 10 + 2); // siblings under one router
         {
             let mut s = tree.session();
@@ -177,6 +177,7 @@ fn lockfree_sibling_delete_helping() {
 /// rebalancing storms still find every permanent key.
 #[test]
 fn rbtree_readers_vs_rebalancing_storm() {
+    let _watchdog = testkit::stress_watchdog("rbtree_readers_vs_rebalancing_storm");
     let tree = RelativisticRbTree::<u64, u64>::new();
     {
         let mut s = tree.session();
@@ -190,7 +191,7 @@ fn rbtree_readers_vs_rebalancing_storm() {
         scope.spawn(move || {
             let mut s = t.session();
             // Odd-key churn in ascending order = constant rotations.
-            for round in 0..40 {
+            for round in 0..testkit::stress_iters(40) {
                 for k in (1..1_000u64).step_by(2) {
                     s.insert(k, k);
                 }
@@ -219,6 +220,7 @@ fn rbtree_readers_vs_rebalancing_storm() {
 /// frozen tree even while the writer replaces the root many times.
 #[test]
 fn bonsai_snapshot_isolation_under_churn() {
+    let _watchdog = testkit::stress_watchdog("bonsai_snapshot_isolation_under_churn");
     let tree = BonsaiTree::<u64, u64>::new();
     {
         let mut s = tree.session();

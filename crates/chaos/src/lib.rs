@@ -1,0 +1,47 @@
+//! Deterministic schedule perturbation and fault injection for the Citrus
+//! reproduction.
+//!
+//! The paper's correctness argument rests on razor-thin interleavings —
+//! validate-after-lock, tag checks on ⊥ children, the `synchronize_rcu` in
+//! the delete path. Plain stress tests only probe the schedules the OS
+//! happens to produce; this crate widens the race windows on purpose.
+//!
+//! Instrumented crates call [`point`] at linearization-sensitive sites and
+//! [`should_fail`] where a forced (correctness-preserving) restart is
+//! possible. With the `chaos` cargo feature **off** — the default — every
+//! failpoint is an empty `#[inline]` function and [`ChaosGuard`] is
+//! zero-sized, mirroring the zero-cost pattern of `citrus-obs`. With it
+//! **on**, an installed [`ChaosPlan`] makes each firing roll (from a
+//! SplitMix64 stream seeded by the plan seed and the thread's stream id)
+//! whether to yield, spin-delay, or force a restart, so any interleaving a
+//! sweep finds is replayable from its seed.
+//!
+//! Failpoint names follow `component/operation/site`, e.g.
+//! `citrus/insert/after-validate` or `rcu-scalable/synchronize/scan-step`.
+//!
+//! # Example
+//!
+//! ```
+//! use citrus_chaos as chaos;
+//!
+//! let _guard = chaos::install(chaos::ChaosPlan::from_seed(0xC17).traced(true));
+//! chaos::set_thread_stream(0);
+//! chaos::point("example/op/site");
+//! if chaos::should_fail("example/op/force-restart") {
+//!     // retry the operation (never taken unless built with `chaos`)
+//! }
+//! let trace = chaos::take_trace(); // decisions, in firing order
+//! assert_eq!(trace.is_empty(), !chaos::chaos_enabled());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod plan;
+mod point;
+
+pub use plan::ChaosPlan;
+pub use point::{
+    chaos_active, chaos_enabled, install, point, set_thread_stream, should_fail, take_trace,
+    ChaosAction, ChaosGuard, TraceEntry,
+};

@@ -17,6 +17,7 @@
 use crate::metrics::TreeMetrics;
 use crate::node::{Dir, KeyBound, Node};
 use citrus_api::{ConcurrentMap, MapSession};
+use citrus_chaos as chaos;
 use citrus_obs::MetricsRegistry;
 use citrus_rcu::{RcuFlavor, RcuHandle, ScalableRcu};
 use citrus_reclaim::{EbrDomain, EbrHandle};
@@ -295,6 +296,60 @@ pub struct CitrusSession<'t, K, V, F: RcuFlavor> {
 /// Batch size for flushing the session graveyard to the shared one.
 const GRAVEYARD_FLUSH: usize = 256;
 
+/// RAII set of node locks held by one update operation.
+///
+/// The delete path holds up to five locks (`prev`, `curr`, `prev_succ`,
+/// `succ`, and the replacement copy) and releases them together. A panic
+/// while any is held — e.g. from a user `Clone` impl called under the
+/// locks — would otherwise leave those nodes locked forever, wedging every
+/// later updater that reaches them. The set unlocks `nodes[..len]` in
+/// reverse acquisition order on drop, on normal exit and during unwinding
+/// alike.
+struct LockSet<K, V> {
+    nodes: [*mut Node<K, V>; 5],
+    len: usize,
+}
+
+impl<K, V> LockSet<K, V> {
+    fn new() -> Self {
+        Self {
+            nodes: [ptr::null_mut(); 5],
+            len: 0,
+        }
+    }
+
+    /// Locks `node` and takes responsibility for unlocking it.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be valid, stay allocated while this set lives, and not
+    /// already be locked by this thread (the spin lock does not nest).
+    unsafe fn acquire(&mut self, node: *mut Node<K, V>) {
+        // SAFETY: valid per contract.
+        unsafe { (*node).lock.lock() };
+        self.adopt(node);
+    }
+
+    /// Takes responsibility for a node this thread has *already* locked
+    /// (delete locks the replacement copy before publishing it).
+    fn adopt(&mut self, node: *mut Node<K, V>) {
+        debug_assert!(self.len < self.nodes.len());
+        self.nodes[self.len] = node;
+        self.len += 1;
+    }
+}
+
+impl<K, V> Drop for LockSet<K, V> {
+    fn drop(&mut self) {
+        for &node in self.nodes[..self.len].iter().rev() {
+            // SAFETY: locked by this thread via `acquire`/`adopt` and not
+            // yet unlocked; nodes outlive the operation (reclamation
+            // protocol).
+            unsafe { (*node).lock.unlock() };
+        }
+    }
+}
+
 /// The paper's `validate` (lines 33–38): all checks are on locked nodes'
 /// local fields.
 ///
@@ -337,6 +392,7 @@ where
             let mut dir = Dir::Right;
             let mut curr = (*prev).child(dir); // root's right child: the ∞ sentinel
             loop {
+                chaos::point("citrus/search/step");
                 if curr.is_null() {
                     break;
                 }
@@ -379,34 +435,40 @@ where
     /// absent.
     pub fn insert(&mut self, key: K, value: V) -> bool {
         let _pin = self.ebr.as_ref().map(|h| h.pin());
-        let mut payload = Some((key, value));
+        // The payload is moved out only on the path that returns, so every
+        // retry still owns it — no `Option` dance needed.
+        let payload = (key, value);
         loop {
-            let (key_ref, _) = payload.as_ref().expect("payload present until success");
             // Locks are acquired *outside* the read-side critical section
             // (avoiding RCU deadlock), so the guard is scoped to the search.
             let (prev, tag, curr, dir) = {
                 let _guard = self.rcu.read_lock();
-                self.search(key_ref)
+                self.search(&payload.0)
             };
             if !curr.is_null() {
                 // Line 24: the key was found.
                 return false;
             }
+            // The search→lock window: `prev` may be unlinked or gain a
+            // child before we lock it — exactly what validate re-checks.
+            chaos::point("citrus/insert/before-lock");
             // SAFETY: `prev` stays allocated (reclamation protocol); locking
             // an unlinked node is harmless — validation will fail.
             unsafe {
-                (*prev).lock.lock();
+                let mut locks = LockSet::new();
+                locks.acquire(prev);
                 self.tree.metrics.record_locks(self.stripe, 1);
-                if validate(prev, tag, ptr::null_mut(), dir) {
-                    let (key, value) = payload.take().expect("first success");
+                if validate(prev, tag, ptr::null_mut(), dir)
+                    && !chaos::should_fail("citrus/insert/force-restart")
+                {
+                    chaos::point("citrus/insert/after-validate");
+                    let (key, value) = payload;
                     let node = Node::new_leaf(KeyBound::Key(key), Some(value));
                     // Line 29: publish the new leaf.
                     (*prev).set_child(dir, node);
-                    (*prev).lock.unlock();
                     return true;
                 }
-                // Line 32: validation failed; release and retry.
-                (*prev).lock.unlock();
+                // Line 32: validation failed; `locks` releases, retry.
             }
             self.stats
                 .insert_retries
@@ -428,22 +490,29 @@ where
                 // Line 45: the key was not found.
                 return false;
             }
+            // The search→lock window, as in `insert`.
+            chaos::point("citrus/remove/before-lock");
             // SAFETY: nodes stay allocated for the whole operation (Leak
             // never frees; Epoch covered by `_pin`); every field write
-            // below is to a node this thread has locked.
+            // below is to a node this thread has locked, and `locks`
+            // releases them — in reverse acquisition order, matching the
+            // paper's unlock sequence — on every exit, unwinding included.
             unsafe {
-                (*prev).lock.lock();
-                (*curr).lock.lock();
+                let mut locks = LockSet::new();
+                locks.acquire(prev);
+                locks.acquire(curr);
                 self.tree.metrics.record_locks(self.stripe, 2);
-                if !validate(prev, 0, curr, dir) {
-                    (*curr).lock.unlock();
-                    (*prev).lock.unlock();
+                if !validate(prev, 0, curr, dir)
+                    || chaos::should_fail("citrus/remove/force-restart")
+                {
+                    drop(locks);
                     self.stats
                         .remove_retries
                         .set(self.stats.remove_retries.get() + 1);
                     self.tree.metrics.record_remove_retry(self.stripe);
                     continue;
                 }
+                chaos::point("citrus/remove/after-validate");
                 let left = (*curr).child(Dir::Left);
                 let right = (*curr).child(Dir::Right);
                 if left.is_null() || right.is_null() {
@@ -451,9 +520,11 @@ where
                     (*curr).mark();
                     let not_none_child = if !left.is_null() { left } else { right };
                     (*prev).set_child(dir, not_none_child);
+                    // Bypass published, tag not yet bumped: a concurrent
+                    // insert's validate must still catch the change.
+                    chaos::point("citrus/remove/before-increment-tag");
                     (*prev).increment_tag(dir);
-                    (*curr).lock.unlock();
-                    (*prev).lock.unlock();
+                    drop(locks);
                     self.retire(curr);
                     return true;
                 }
@@ -478,9 +549,9 @@ where
                 };
                 // Lines 66–68: do not lock `curr` twice.
                 if prev_succ != curr {
-                    (*prev_succ).lock.lock();
+                    locks.acquire(prev_succ);
                 }
-                (*succ).lock.lock();
+                locks.acquire(succ);
                 self.tree
                     .metrics
                     .record_locks(self.stripe, if prev_succ == curr { 1 } else { 2 });
@@ -491,7 +562,9 @@ where
                     && validate(succ, succ_left_tag, ptr::null_mut(), Dir::Left)
                 {
                     // Line 70: a copy of the successor with `curr`'s
-                    // children...
+                    // children. The user `Clone` calls happen *before* any
+                    // structural change: if one panics, `locks` unwinds and
+                    // the tree is untouched.
                     let node = Node::new_replacement(
                         (*succ).key.clone(),
                         (*succ).value.clone(),
@@ -500,6 +573,7 @@ where
                     );
                     // Line 71: ...locked before publication.
                     (*node).lock.lock();
+                    locks.adopt(node);
                     self.tree.metrics.record_locks(self.stripe, 1);
                     // Lines 72–73: mark `curr`, splice the copy in. From
                     // here until line 75 two nodes carry the successor's
@@ -507,9 +581,13 @@ where
                     (*curr).mark();
                     (*prev).set_child(dir, node);
 
+                    // The weak-BST window: two nodes carry the successor's
+                    // key until the grace period elapses.
+                    chaos::point("citrus/remove/before-synchronize");
                     // Line 74: wait for pre-existing searches, which may
                     // still be looking at the successor's *old* location.
                     self.rcu.synchronize();
+                    chaos::point("citrus/remove/after-synchronize");
                     self.stats
                         .synchronize_calls
                         .set(self.stats.synchronize_calls.get() + 1);
@@ -527,26 +605,16 @@ where
                         (*prev_succ).increment_tag(Dir::Left);
                     }
 
-                    // Lines 82–83: release all locks.
-                    (*node).lock.unlock();
-                    (*succ).lock.unlock();
-                    if prev_succ != curr {
-                        (*prev_succ).lock.unlock();
-                    }
-                    (*curr).lock.unlock();
-                    (*prev).lock.unlock();
+                    // Lines 82–83: release all locks (reverse acquisition
+                    // order: node, succ, prev_succ, curr, prev).
+                    drop(locks);
                     self.retire(curr);
                     self.retire(succ);
                     return true;
                 }
 
-                // Line 84: validation failed; release all locks and retry.
-                (*succ).lock.unlock();
-                if prev_succ != curr {
-                    (*prev_succ).lock.unlock();
-                }
-                (*curr).lock.unlock();
-                (*prev).lock.unlock();
+                // Line 84: validation failed; `locks` releases all five,
+                // retry.
             }
             self.stats
                 .remove_retries

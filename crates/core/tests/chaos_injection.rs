@@ -1,0 +1,85 @@
+//! Chaos-mode tests for the Citrus tree (compiled only with the `chaos`
+//! cargo feature): replay determinism, forced validation restarts, and
+//! correctness under schedule perturbation.
+#![cfg(feature = "chaos")]
+
+use citrus::{CitrusTree, ReclaimMode};
+use citrus_chaos::{self as chaos, ChaosPlan};
+
+/// One deterministic single-threaded workload, traced.
+fn traced_workload(seed: u64) -> Vec<chaos::TraceEntry> {
+    let _plan = chaos::install(ChaosPlan::from_seed(seed).traced(true));
+    // Pin the decision stream so the trace does not depend on what ran on
+    // this thread earlier in the test binary.
+    chaos::set_thread_stream(0);
+    let tree: CitrusTree<u64, u64> = CitrusTree::new();
+    let mut s = tree.session();
+    for i in 0..200u64 {
+        s.insert(i % 64, i);
+        s.get(&(i % 32));
+        s.remove(&(i % 48));
+    }
+    chaos::take_trace()
+}
+
+/// The acceptance criterion: the same schedule seed yields the identical
+/// failpoint firing sequence (names and actions).
+#[test]
+fn same_seed_fires_identically() {
+    let a = traced_workload(0xC17_0001);
+    let b = traced_workload(0xC17_0001);
+    assert!(!a.is_empty(), "the workload must cross failpoints");
+    assert_eq!(a, b, "same seed must replay the same firing sequence");
+    // Sanity: the trace reaches points in multiple components.
+    assert!(a.iter().any(|e| e.point.starts_with("citrus/")));
+
+    let c = traced_workload(0xC17_0002);
+    assert_ne!(a, c, "a different seed must pick different actions");
+}
+
+/// Forced restarts at the validation failpoints must surface as retries in
+/// session stats — proof the restart path actually runs — while leaving
+/// results correct.
+#[test]
+fn forced_restarts_exercise_the_retry_path() {
+    let _plan = chaos::install(ChaosPlan::from_seed(0xFA11).fails(400));
+    let tree: CitrusTree<u64, u64> = CitrusTree::new();
+    let mut s = tree.session();
+    for i in 0..300u64 {
+        assert!(s.insert(i, i * 2 + 1));
+    }
+    for i in 0..300u64 {
+        assert_eq!(s.get(&i), Some(i * 2 + 1));
+        assert!(s.remove(&i));
+    }
+    let stats = s.stats();
+    assert!(
+        stats.insert_retries() > 0,
+        "a 40% forced-restart rate must produce insert retries"
+    );
+    assert!(
+        stats.remove_retries() > 0,
+        "a 40% forced-restart rate must produce remove retries"
+    );
+}
+
+/// Concurrent workload under an aggressive plan: the tree must stay a
+/// valid BST and pass its structural invariants afterwards.
+#[test]
+fn tree_survives_concurrent_chaos() {
+    let _plan = chaos::install(
+        ChaosPlan::from_seed(0x5EED_CAFE)
+            .yields(300)
+            .spins(300, 128)
+            .fails(100),
+    );
+    for mode in [ReclaimMode::Leak, ReclaimMode::Epoch] {
+        let tree: CitrusTree<u64, u64> = CitrusTree::with_reclaim(mode);
+        citrus_api::testkit::check_lost_updates(&tree, 4, 64);
+        let mut tree = tree;
+        let stats = tree
+            .validate_structure()
+            .expect("tree must satisfy its invariants after chaos");
+        assert_eq!(stats.len, 0, "check_lost_updates removes all its keys");
+    }
+}

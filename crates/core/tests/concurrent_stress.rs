@@ -4,21 +4,10 @@
 //! storms during update-heavy churn.
 
 use citrus::{CitrusTree, GlobalLockRcu, ReclaimMode, ScalableRcu};
-use citrus_api::testkit::SplitMix64;
+use citrus_api::testkit::{self, stress_iters, SplitMix64};
 use citrus_rcu::RcuFlavor;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
-
-/// Iteration count for a stress loop: `default`, unless the
-/// `CITRUS_STRESS_ITERS` environment variable caps it lower. The
-/// ThreadSanitizer CI job sets a small cap — every memory access is
-/// instrumented there and the full counts take far too long.
-fn stress_iters(default: u64) -> u64 {
-    match std::env::var("CITRUS_STRESS_ITERS") {
-        Ok(v) => v.parse::<u64>().map_or(default, |n| default.min(n.max(1))),
-        Err(_) => default,
-    }
-}
 
 /// Figure 4 scenario: deletes constantly relocate successors while readers
 /// search for exactly those successor keys. A reader must never miss a key
@@ -102,16 +91,19 @@ fn successor_move_vs_search<F: RcuFlavor>(mode: ReclaimMode) {
 
 #[test]
 fn successor_move_vs_search_scalable_epoch() {
+    let _watchdog = testkit::stress_watchdog("successor_move_vs_search_scalable_epoch");
     successor_move_vs_search::<ScalableRcu>(ReclaimMode::Epoch);
 }
 
 #[test]
 fn successor_move_vs_search_scalable_leak() {
+    let _watchdog = testkit::stress_watchdog("successor_move_vs_search_scalable_leak");
     successor_move_vs_search::<ScalableRcu>(ReclaimMode::Leak);
 }
 
 #[test]
 fn successor_move_vs_search_global_lock() {
+    let _watchdog = testkit::stress_watchdog("successor_move_vs_search_global_lock");
     successor_move_vs_search::<GlobalLockRcu>(ReclaimMode::Epoch);
 }
 
@@ -164,11 +156,13 @@ fn insert_vs_parent_delete<F: RcuFlavor>(mode: ReclaimMode) {
 
 #[test]
 fn insert_vs_parent_delete_scalable() {
+    let _watchdog = testkit::stress_watchdog("insert_vs_parent_delete_scalable");
     insert_vs_parent_delete::<ScalableRcu>(ReclaimMode::Epoch);
 }
 
 #[test]
 fn insert_vs_parent_delete_global_lock() {
+    let _watchdog = testkit::stress_watchdog("insert_vs_parent_delete_global_lock");
     insert_vs_parent_delete::<GlobalLockRcu>(ReclaimMode::Leak);
 }
 
@@ -177,6 +171,7 @@ fn insert_vs_parent_delete_global_lock() {
 /// one thread audits structure via a fresh exclusive handle.
 #[test]
 fn waves_of_churn_with_structural_audits() {
+    let _watchdog = testkit::stress_watchdog("waves_of_churn_with_structural_audits");
     const THREADS: usize = 8;
     const WAVES: usize = 5;
     const RANGE: u64 = 512;
@@ -226,6 +221,7 @@ fn waves_of_churn_with_structural_audits() {
 /// two-child deletes; verifies no deadlock and final consistency.
 #[test]
 fn update_only_storm() {
+    let _watchdog = testkit::stress_watchdog("update_only_storm");
     const THREADS: usize = 8;
     const RANGE: u64 = 128;
     let ops = stress_iters(3_000) as usize;
@@ -265,6 +261,7 @@ fn update_only_storm() {
 /// under churn) must not corrupt RCU or reclamation state.
 #[test]
 fn session_churn_during_operations() {
+    let _watchdog = testkit::stress_watchdog("session_churn_during_operations");
     const RANGE: u64 = 64;
     let batches = stress_iters(150);
     let tree: CitrusTree<u64, u64> = CitrusTree::new();

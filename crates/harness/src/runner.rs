@@ -13,6 +13,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
+/// A worker thread that panicked during a timed run.
+#[derive(Debug, Clone)]
+pub struct WorkerPanic {
+    /// Worker index (position in [`RunResult::per_thread`]).
+    pub thread: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
 /// Result of one timed run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -20,14 +29,23 @@ pub struct RunResult {
     pub total_ops: u64,
     /// Measured wall-clock duration.
     pub duration: Duration,
-    /// Operations completed per thread.
+    /// Operations completed per thread (`0` for a panicked worker).
     pub per_thread: Vec<u64>,
+    /// Workers that panicked instead of finishing. A run with panics is
+    /// *degraded*: surviving workers' throughput is still reported, so one
+    /// crashed thread does not discard a whole benchmark sweep.
+    pub panics: Vec<WorkerPanic>,
 }
 
 impl RunResult {
     /// Overall throughput in operations per second (the paper's y-axis).
     pub fn throughput(&self) -> f64 {
         self.total_ops as f64 / self.duration.as_secs_f64()
+    }
+
+    /// `true` when at least one worker panicked (see [`Self::panics`]).
+    pub fn is_degraded(&self) -> bool {
+        !self.panics.is_empty()
     }
 }
 
@@ -39,7 +57,22 @@ impl fmt::Display for RunResult {
             self.throughput(),
             self.total_ops,
             self.duration
-        )
+        )?;
+        if self.is_degraded() {
+            write!(f, " [DEGRADED: {} worker(s) panicked]", self.panics.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Stringifies a payload from [`std::thread::JoinHandle::join`]'s error.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -121,14 +154,26 @@ pub fn run_throughput<M: ConcurrentMap<u64, u64>>(
         std::thread::sleep(spec.duration);
         stop.store(true, Ordering::Relaxed);
         let elapsed = start.elapsed();
+        let mut panics = Vec::new();
         for (t, h) in handles.into_iter().enumerate() {
-            per_thread[t] = h.join().expect("worker panicked");
+            match h.join() {
+                Ok(ops) => per_thread[t] = ops,
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    eprintln!(
+                        "[citrus-harness] worker {t} panicked: {message}; \
+                         reporting a degraded result from the surviving workers"
+                    );
+                    panics.push(WorkerPanic { thread: t, message });
+                }
+            }
         }
         let total_ops = per_thread.iter().sum();
         RunResult {
             total_ops,
             duration: elapsed,
             per_thread,
+            panics,
         }
     })
 }
@@ -248,6 +293,79 @@ mod tests {
             let tp = run_algo(algo, &spec, 1, 11);
             assert!(tp > 0.0, "{algo} produced no throughput");
         }
+    }
+
+    #[test]
+    fn worker_panic_degrades_instead_of_propagating() {
+        use std::sync::atomic::AtomicI64;
+
+        /// Wraps a tree; one operation panics once the shared fuse burns.
+        struct FusedMap {
+            inner: CitrusTree<u64, u64>,
+            fuse: AtomicI64,
+        }
+
+        struct FusedSession<'a> {
+            inner: <CitrusTree<u64, u64> as ConcurrentMap<u64, u64>>::Session<'a>,
+            fuse: &'a AtomicI64,
+        }
+
+        impl FusedSession<'_> {
+            fn burn(&self) {
+                if self.fuse.fetch_sub(1, Ordering::Relaxed) == 0 {
+                    panic!("fuse burned");
+                }
+            }
+        }
+
+        impl ConcurrentMap<u64, u64> for FusedMap {
+            type Session<'a> = FusedSession<'a>;
+            const NAME: &'static str = "fused-citrus";
+            fn session(&self) -> FusedSession<'_> {
+                FusedSession {
+                    inner: self.inner.session(),
+                    fuse: &self.fuse,
+                }
+            }
+        }
+
+        impl MapSession<u64, u64> for FusedSession<'_> {
+            fn get(&mut self, key: &u64) -> Option<u64> {
+                self.burn();
+                self.inner.get(key)
+            }
+            fn insert(&mut self, key: u64, value: u64) -> bool {
+                self.burn();
+                self.inner.insert(key, value)
+            }
+            fn remove(&mut self, key: &u64) -> bool {
+                self.burn();
+                self.inner.remove(key)
+            }
+        }
+
+        let map = FusedMap {
+            inner: CitrusTree::new(),
+            // Burns partway through the measured phase (after the ~250
+            // prefill inserts), on exactly one worker.
+            fuse: AtomicI64::new(5_000),
+        };
+        let spec = WorkloadSpec::new(
+            1_000,
+            OpMix::with_contains(50),
+            2,
+            Duration::from_millis(100),
+        );
+        let r = run_throughput(&map, &spec, 21);
+        assert!(r.is_degraded(), "the fuse should have burned one worker");
+        assert_eq!(r.panics.len(), 1);
+        assert!(r.panics[0].message.contains("fuse burned"));
+        assert_eq!(r.per_thread[r.panics[0].thread], 0);
+        assert!(
+            r.total_ops > 0,
+            "the surviving worker's ops must still be counted"
+        );
+        assert!(format!("{r}").contains("DEGRADED"));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::metrics::RcuMetrics;
 use core::fmt;
+use core::time::Duration;
 
 /// An RCU implementation ("flavor", in liburcu terminology).
 ///
@@ -54,6 +55,30 @@ pub trait RcuFlavor: Send + Sync + Default + 'static {
     /// [`citrus_obs::MetricsRegistry`] with
     /// [`RcuMetrics::register_into`].
     fn metrics(&self) -> &RcuMetrics;
+
+    /// Reconfigures the grace-period stall watchdog: after waiting this
+    /// long on one reader, `synchronize` records a stall event and emits a
+    /// diagnostic naming the blocking registry slot (then keeps waiting —
+    /// the watchdog never changes grace-period semantics). `None` disables
+    /// it. The process default is 2 s, overridable with
+    /// `CITRUS_RCU_STALL_MS` (`0` disables).
+    ///
+    /// The default implementation ignores the setting (for flavors without
+    /// a watchdog).
+    fn set_stall_timeout(&self, timeout: Option<Duration>) {
+        let _ = timeout;
+    }
+
+    /// Number of grace-period stalls recorded by the watchdog. Counted
+    /// unconditionally (not gated on the `stats` feature).
+    fn stall_events(&self) -> u64 {
+        0
+    }
+
+    /// Takes the most recent stall diagnostic, if any.
+    fn take_stall_diagnostic(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Per-thread RCU participant: read-side critical sections and grace-period

@@ -26,11 +26,15 @@
 
 use crate::flavor::{RcuFlavor, RcuHandle};
 use crate::metrics::RcuMetrics;
+use crate::stall::StallWatchdog;
+use citrus_chaos as chaos;
 use citrus_obs::Stopwatch;
 use citrus_sync::{Backoff, CachePadded, Registry, SlotHandle, SpinMutex};
 use core::cell::Cell;
 use core::fmt;
 use core::sync::atomic::{fence, AtomicU64, Ordering};
+use core::time::Duration;
+use std::time::Instant;
 
 /// Active bit: the thread is inside a read-side critical section.
 const ACTIVE: u64 = 1;
@@ -74,6 +78,7 @@ pub struct GlobalLockRcu {
     registry: Registry<ReaderSlot>,
     grace_periods: AtomicU64,
     metrics: RcuMetrics,
+    watchdog: StallWatchdog,
 }
 
 impl GlobalLockRcu {
@@ -85,6 +90,7 @@ impl GlobalLockRcu {
             registry: Registry::new(),
             grace_periods: AtomicU64::new(0),
             metrics: RcuMetrics::new(),
+            watchdog: StallWatchdog::new(),
         }
     }
 }
@@ -127,6 +133,18 @@ impl RcuFlavor for GlobalLockRcu {
     fn metrics(&self) -> &RcuMetrics {
         &self.metrics
     }
+
+    fn set_stall_timeout(&self, timeout: Option<Duration>) {
+        self.watchdog.set_timeout(timeout);
+    }
+
+    fn stall_events(&self) -> u64 {
+        self.watchdog.events()
+    }
+
+    fn take_stall_diagnostic(&self) -> Option<String> {
+        self.watchdog.take_diagnostic()
+    }
 }
 
 /// Per-thread handle for [`GlobalLockRcu`].
@@ -146,6 +164,10 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
         if n == 0 {
             let phase = self.domain.gp_phase.load(Ordering::Relaxed);
             self.slot.word.store(phase | ACTIVE, Ordering::Relaxed);
+            // A reader preempted here has published a (possibly stale)
+            // phase but not yet ordered its loads — the window the two
+            // phase flips exist to cover.
+            chaos::point("rcu-global-lock/read-lock/between-store-and-fence");
             // Pair with the synchronizer's fence: it either sees us active,
             // or we see all its pre-grace-period stores.
             fence(Ordering::SeqCst);
@@ -181,14 +203,21 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
         // Two phase flips, as in liburcu: a reader may fetch the phase and
         // publish its word a moment later, so one flip can miss it; it
         // cannot survive two.
+        let stall_limit = domain.watchdog.timeout();
         for _ in 0..2 {
+            // A synchronizer paused between flips holds the global lock
+            // while readers keep entering under the first new phase.
+            chaos::point("rcu-global-lock/synchronize/phase-flip");
             let new_phase = domain.gp_phase.fetch_add(PHASE_ONE, Ordering::SeqCst) + PHASE_ONE;
-            for slot in domain.registry.iter() {
+            for (index, slot) in domain.registry.iter().enumerate() {
+                chaos::point("rcu-global-lock/synchronize/scan-step");
                 if core::ptr::from_ref::<ReaderSlot>(slot.value()).cast::<u8>() == own {
                     continue;
                 }
                 let word = &slot.value().word;
                 let backoff = Backoff::new();
+                let mut waited_since: Option<Instant> = None;
+                let mut reported = false;
                 loop {
                     let w = word.load(Ordering::Acquire);
                     // Quiescent, or entered at (or after) the new phase:
@@ -197,6 +226,16 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
                         break;
                     }
                     backoff.snooze();
+                    if let Some(limit) = stall_limit {
+                        let since = *waited_since.get_or_insert_with(Instant::now);
+                        if !reported && since.elapsed() >= limit {
+                            reported = true;
+                            domain
+                                .watchdog
+                                .note(GlobalLockRcu::NAME, index, w, since.elapsed());
+                            domain.metrics.record_synchronize_stall(self.stripe);
+                        }
+                    }
                 }
             }
         }

@@ -67,6 +67,7 @@ mod flavor;
 mod global_lock;
 mod metrics;
 mod scalable;
+mod stall;
 
 pub use flavor::{RcuFlavor, RcuHandle, RcuReadGuard};
 pub use global_lock::{GlobalLockRcu, GlobalLockRcuHandle};

@@ -53,6 +53,7 @@ pub struct RcuMetrics {
     read_sections: Counter,
     synchronize_calls: Counter,
     synchronize_ns: Log2Histogram,
+    synchronize_stalls: Counter,
     /// Round-robin stripe allocator for handles (cold path: one
     /// `fetch_add` per `register`, never on read/synchronize).
     next_stripe: AtomicUsize,
@@ -64,6 +65,7 @@ impl RcuMetrics {
             read_sections: Counter::new(STRIPES),
             synchronize_calls: Counter::new(STRIPES),
             synchronize_ns: Log2Histogram::new(),
+            synchronize_stalls: Counter::new(STRIPES),
             next_stripe: AtomicUsize::new(0),
         }
     }
@@ -86,6 +88,12 @@ impl RcuMetrics {
         self.synchronize_ns.record(elapsed_ns);
     }
 
+    /// Records one grace-period stall reported by the watchdog.
+    #[inline]
+    pub(crate) fn record_synchronize_stall(&self, stripe: usize) {
+        self.synchronize_stalls.incr(stripe);
+    }
+
     /// Total outermost read-side critical sections entered
     /// (`0` with stats off).
     #[must_use]
@@ -97,6 +105,13 @@ impl RcuMetrics {
     #[must_use]
     pub fn synchronize_calls(&self) -> u64 {
         self.synchronize_calls.get()
+    }
+
+    /// Total grace-period stalls reported by the watchdog (`0` with stats
+    /// off; the flavor's `stall_events()` counts unconditionally).
+    #[must_use]
+    pub fn synchronize_stalls(&self) -> u64 {
+        self.synchronize_stalls.get()
     }
 
     /// Snapshot of the `synchronize_rcu` latency distribution, in
@@ -112,5 +127,6 @@ impl RcuMetrics {
         registry.register_counter(component, "read_sections", &self.read_sections);
         registry.register_counter(component, "synchronize_calls", &self.synchronize_calls);
         registry.register_histogram(component, "synchronize_ns", &self.synchronize_ns);
+        registry.register_counter(component, "synchronize_stalls", &self.synchronize_stalls);
     }
 }

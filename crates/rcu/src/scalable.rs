@@ -19,11 +19,15 @@
 
 use crate::flavor::{RcuFlavor, RcuHandle};
 use crate::metrics::RcuMetrics;
+use crate::stall::StallWatchdog;
+use citrus_chaos as chaos;
 use citrus_obs::Stopwatch;
 use citrus_sync::{Backoff, CachePadded, Registry, SlotHandle};
 use core::cell::Cell;
 use core::fmt;
 use core::sync::atomic::{fence, AtomicU64, Ordering};
+use core::time::Duration;
+use std::time::Instant;
 
 /// Flag bit: thread is inside a read-side critical section.
 const FLAG: u64 = 1;
@@ -63,6 +67,7 @@ pub struct ScalableRcu {
     registry: Registry<ReaderSlot>,
     grace_periods: AtomicU64,
     metrics: RcuMetrics,
+    watchdog: StallWatchdog,
 }
 
 impl ScalableRcu {
@@ -72,6 +77,7 @@ impl ScalableRcu {
             registry: Registry::new(),
             grace_periods: AtomicU64::new(0),
             metrics: RcuMetrics::new(),
+            watchdog: StallWatchdog::new(),
         }
     }
 }
@@ -117,6 +123,18 @@ impl RcuFlavor for ScalableRcu {
     fn metrics(&self) -> &RcuMetrics {
         &self.metrics
     }
+
+    fn set_stall_timeout(&self, timeout: Option<Duration>) {
+        self.watchdog.set_timeout(timeout);
+    }
+
+    fn stall_events(&self) -> u64 {
+        self.watchdog.events()
+    }
+
+    fn take_stall_diagnostic(&self) -> Option<String> {
+        self.watchdog.take_diagnostic()
+    }
 }
 
 /// Per-thread handle for [`ScalableRcu`].
@@ -140,6 +158,9 @@ impl RcuHandle for ScalableRcuHandle<'_> {
             // not be an RMW.
             let w = word.load(Ordering::Relaxed);
             word.store(w.wrapping_add(COUNT_ONE) | FLAG, Ordering::Relaxed);
+            // The store/fence window: a reader preempted here has
+            // published its flag but not yet ordered its loads.
+            chaos::point("rcu-scalable/read-lock/between-store-and-fence");
             // Order the flag store before the critical section's loads
             // (paired with the fence at the start of `synchronize`): either
             // the synchronizer sees our flag, or we see every store it made
@@ -177,7 +198,11 @@ impl RcuHandle for ScalableRcuHandle<'_> {
         // pre-unlink references.
         fence(Ordering::SeqCst);
         let own = core::ptr::from_ref::<ReaderSlot>(&self.slot).cast::<u8>();
-        for slot in self.domain.registry.iter() {
+        let stall_limit = self.domain.watchdog.timeout();
+        for (index, slot) in self.domain.registry.iter().enumerate() {
+            // A synchronizer paused between slot scans lets later slots'
+            // readers turn over many times before being snapshotted.
+            chaos::point("rcu-scalable/synchronize/scan-step");
             // Skip our own slot (we are outside any read section).
             if core::ptr::from_ref::<ReaderSlot>(slot.value()).cast::<u8>() == own {
                 continue;
@@ -193,8 +218,23 @@ impl RcuHandle for ScalableRcuHandle<'_> {
             // a *new* section — the pre-existing one is over) or clears its
             // flag. Any change of the word implies one of the two.
             let backoff = Backoff::new();
+            let mut waited_since: Option<Instant> = None;
+            let mut reported = false;
             while word.load(Ordering::Acquire) == snapshot {
                 backoff.snooze();
+                if let Some(limit) = stall_limit {
+                    let since = *waited_since.get_or_insert_with(Instant::now);
+                    if !reported && since.elapsed() >= limit {
+                        reported = true;
+                        self.domain.watchdog.note(
+                            ScalableRcu::NAME,
+                            index,
+                            snapshot,
+                            since.elapsed(),
+                        );
+                        self.domain.metrics.record_synchronize_stall(self.stripe);
+                    }
+                }
             }
         }
         // Pair with readers' release fences: everything their critical

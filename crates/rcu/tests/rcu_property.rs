@@ -1,6 +1,7 @@
 //! Direct tests of the RCU property (paper Figure 2) and the flavor
 //! implementations' structural behavior, beyond the in-crate unit tests.
 
+use citrus_api::testkit;
 use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle, ScalableRcu};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -24,7 +25,7 @@ fn synchronize_does_not_wait_for_future_readers<F: RcuFlavor>(rcu: &F) {
         s.spawn(|| {
             let h = rcu.register();
             let start = Instant::now();
-            for _ in 0..200 {
+            for _ in 0..testkit::stress_iters(200) {
                 h.synchronize();
             }
             let elapsed = start.elapsed();
@@ -39,11 +40,13 @@ fn synchronize_does_not_wait_for_future_readers<F: RcuFlavor>(rcu: &F) {
 
 #[test]
 fn no_future_reader_wait_scalable() {
+    let _watchdog = testkit::stress_watchdog("no_future_reader_wait_scalable");
     synchronize_does_not_wait_for_future_readers(&ScalableRcu::new());
 }
 
 #[test]
 fn no_future_reader_wait_global_lock() {
+    let _watchdog = testkit::stress_watchdog("no_future_reader_wait_global_lock");
     synchronize_does_not_wait_for_future_readers(&GlobalLockRcu::new());
 }
 
@@ -54,12 +57,12 @@ fn no_future_reader_wait_global_lock() {
 fn ordering_property<F: RcuFlavor>(rcu: &F) {
     use std::sync::atomic::AtomicUsize;
     const SLOTS: usize = 4;
-    const WRITES: usize = 1_000;
+    let writes = testkit::stress_iters(1_000) as usize;
     // Value published at index i is i; `retired_before[v]` is the highest
     // grace-period index at which v was still published.
     let current = AtomicUsize::new(0);
     let gp_count = AtomicU64::new(0);
-    let retire_log = Mutex::new(vec![u64::MAX; WRITES + SLOTS]);
+    let retire_log = Mutex::new(vec![u64::MAX; writes + SLOTS]);
     let barrier = Barrier::new(3);
 
     std::thread::scope(|s| {
@@ -74,7 +77,7 @@ fn ordering_property<F: RcuFlavor>(rcu: &F) {
                     let seen = current.load(Ordering::Acquire);
                     let gp_at_read = gp_count.load(Ordering::Acquire);
                     drop(g);
-                    if seen >= WRITES {
+                    if seen >= writes {
                         break;
                     }
                     // The value we saw must not have been retired before
@@ -95,7 +98,7 @@ fn ordering_property<F: RcuFlavor>(rcu: &F) {
             s.spawn(move || {
                 let h = rcu.register();
                 barrier.wait();
-                for i in 1..=WRITES {
+                for i in 1..=writes {
                     let old = current.swap(i, Ordering::AcqRel);
                     h.synchronize();
                     let gp = gp_count.fetch_add(1, Ordering::AcqRel);
@@ -108,11 +111,13 @@ fn ordering_property<F: RcuFlavor>(rcu: &F) {
 
 #[test]
 fn ordering_property_scalable() {
+    let _watchdog = testkit::stress_watchdog("ordering_property_scalable");
     ordering_property(&ScalableRcu::new());
 }
 
 #[test]
 fn ordering_property_global_lock() {
+    let _watchdog = testkit::stress_watchdog("ordering_property_global_lock");
     ordering_property(&GlobalLockRcu::new());
 }
 
@@ -141,11 +146,13 @@ fn slot_reuse_under_thread_churn<F: RcuFlavor>(rcu: &F) {
 
 #[test]
 fn slot_reuse_scalable() {
+    let _watchdog = testkit::stress_watchdog("slot_reuse_scalable");
     slot_reuse_under_thread_churn(&ScalableRcu::new());
 }
 
 #[test]
 fn slot_reuse_global_lock() {
+    let _watchdog = testkit::stress_watchdog("slot_reuse_global_lock");
     slot_reuse_under_thread_churn(&GlobalLockRcu::new());
 }
 

@@ -1,0 +1,118 @@
+//! The grace-period stall watchdog (both flavors): a reader parked inside
+//! its read-side critical section must be *named* — slot index, reader
+//! word, wait time — while `synchronize_rcu` keeps waiting and still
+//! completes once the reader leaves. The watchdog changes observability,
+//! never grace-period semantics.
+
+use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle, ScalableRcu};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Parks a reader in a read section for ~200 ms while a 50 ms-timeout
+/// synchronizer waits on it, then checks the stall was reported.
+fn stalled_reader_is_reported<F: RcuFlavor>(rcu: &F) {
+    rcu.set_stall_timeout(Some(Duration::from_millis(50)));
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let h = rcu.register();
+            let guard = h.read_lock();
+            entered_tx.send(()).unwrap();
+            // Stay inside the section until released.
+            release_rx.recv().unwrap();
+            drop(guard);
+        });
+        entered_rx.recv().unwrap();
+        s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            release_tx.send(()).unwrap();
+        });
+        let h = rcu.register();
+        // Blocks on the parked reader well past the 50 ms timeout; must
+        // still complete once the reader exits.
+        h.synchronize();
+    });
+
+    assert!(
+        rcu.stall_events() >= 1,
+        "the watchdog must have recorded at least one stall"
+    );
+    let diag = rcu
+        .take_stall_diagnostic()
+        .expect("a stall diagnostic must be recorded");
+    assert!(
+        diag.contains("slot"),
+        "diagnostic must name the blocking registry slot: {diag}"
+    );
+    assert!(
+        diag.contains(F::NAME),
+        "diagnostic must name the flavor: {diag}"
+    );
+    // The obs counter mirrors the unconditional event count (stats only).
+    #[cfg(feature = "stats")]
+    assert!(
+        rcu.metrics().synchronize_stalls() >= 1,
+        "the synchronize_stalls obs counter must have advanced"
+    );
+    // Taking the diagnostic clears it.
+    assert!(rcu.take_stall_diagnostic().is_none());
+}
+
+#[test]
+fn stalled_reader_is_reported_scalable() {
+    stalled_reader_is_reported(&ScalableRcu::new());
+}
+
+#[test]
+fn stalled_reader_is_reported_global_lock() {
+    stalled_reader_is_reported(&GlobalLockRcu::new());
+}
+
+/// With the watchdog disabled, a slow reader produces no events.
+fn disabled_watchdog_stays_silent<F: RcuFlavor>(rcu: &F) {
+    rcu.set_stall_timeout(None);
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let h = rcu.register();
+            let guard = h.read_lock();
+            entered_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+            drop(guard);
+        });
+        entered_rx.recv().unwrap();
+        s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            release_tx.send(()).unwrap();
+        });
+        let h = rcu.register();
+        h.synchronize();
+    });
+    assert_eq!(rcu.stall_events(), 0);
+    assert!(rcu.take_stall_diagnostic().is_none());
+}
+
+#[test]
+fn disabled_watchdog_stays_silent_scalable() {
+    disabled_watchdog_stays_silent(&ScalableRcu::new());
+}
+
+#[test]
+fn disabled_watchdog_stays_silent_global_lock() {
+    disabled_watchdog_stays_silent(&GlobalLockRcu::new());
+}
+
+/// An uncontended synchronize never trips even a tiny timeout.
+#[test]
+fn idle_synchronize_records_nothing() {
+    let rcu = ScalableRcu::new();
+    rcu.set_stall_timeout(Some(Duration::from_millis(1)));
+    let h = rcu.register();
+    for _ in 0..10 {
+        h.synchronize();
+    }
+    assert_eq!(rcu.stall_events(), 0);
+}

@@ -14,6 +14,7 @@
 pub use citrus;
 pub use citrus_api;
 pub use citrus_baselines;
+pub use citrus_chaos;
 pub use citrus_harness;
 pub use citrus_rcu;
 pub use citrus_reclaim;

@@ -7,50 +7,64 @@ use citrus_repro::citrus_api::testkit;
 use citrus_repro::prelude::*;
 
 fn battery<M: ConcurrentMap<u64, u64>>(make: impl Fn() -> M) {
-    testkit::check_sequential_model(&make(), 5_000, 256, 0xC0DE);
+    let ops = testkit::stress_iters(2_000) as usize;
+    testkit::check_sequential_model(&make(), stress(5_000), 256, 0xC0DE);
     testkit::check_duplicate_inserts(&make());
     testkit::check_lost_updates(&make(), 6, 250);
-    testkit::check_partitioned_determinism(&make(), 6, 2_000, 64);
-    testkit::check_mixed_quiescent_consistency(&make(), 6, 2_000, 128);
-    testkit::check_insert_grants_exclusivity(&make(), 4, 150);
+    testkit::check_partitioned_determinism(&make(), 6, ops, 64);
+    testkit::check_mixed_quiescent_consistency(&make(), 6, ops, 128);
+    testkit::check_insert_grants_exclusivity(&make(), 4, stress(150));
+}
+
+/// `stress_iters` for `usize`-typed op counts.
+fn stress(default: usize) -> usize {
+    testkit::stress_iters(default as u64) as usize
 }
 
 #[test]
 fn citrus_scalable_epoch() {
+    let _watchdog = testkit::stress_watchdog("citrus_scalable_epoch");
     battery(|| CitrusTree::<u64, u64, ScalableRcu>::with_reclaim(ReclaimMode::Epoch));
 }
 
 #[test]
 fn citrus_scalable_leak() {
+    let _watchdog = testkit::stress_watchdog("citrus_scalable_leak");
     battery(|| CitrusTree::<u64, u64, ScalableRcu>::with_reclaim(ReclaimMode::Leak));
 }
 
 #[test]
 fn citrus_global_lock_rcu() {
+    let _watchdog = testkit::stress_watchdog("citrus_global_lock_rcu");
     battery(|| CitrusTree::<u64, u64, GlobalLockRcu>::with_reclaim(ReclaimMode::Leak));
 }
 
 #[test]
 fn baseline_avl() {
+    let _watchdog = testkit::stress_watchdog("baseline_avl");
     battery(OptimisticAvlTree::<u64, u64>::new);
 }
 
 #[test]
 fn baseline_skiplist() {
+    let _watchdog = testkit::stress_watchdog("baseline_skiplist");
     battery(LazySkipList::<u64, u64>::new);
 }
 
 #[test]
 fn baseline_lockfree() {
+    let _watchdog = testkit::stress_watchdog("baseline_lockfree");
     battery(LockFreeBst::<u64, u64>::new);
 }
 
 #[test]
 fn baseline_rbtree() {
+    let _watchdog = testkit::stress_watchdog("baseline_rbtree");
     battery(RelativisticRbTree::<u64, u64>::new);
 }
 
 #[test]
 fn baseline_bonsai() {
+    let _watchdog = testkit::stress_watchdog("baseline_bonsai");
     battery(BonsaiTree::<u64, u64>::new);
 }

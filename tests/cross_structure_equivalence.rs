@@ -2,7 +2,7 @@
 //! produce identical return values and identical final contents — a
 //! differential test that catches semantic drift between implementations.
 
-use citrus_repro::citrus_api::testkit::SplitMix64;
+use citrus_repro::citrus_api::testkit::{self, SplitMix64};
 use citrus_repro::prelude::*;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,20 +32,21 @@ fn trace<M: ConcurrentMap<u64, u64>>(map: &M, ops: usize, range: u64, seed: u64)
 
 #[test]
 fn identical_traces_across_all_structures() {
-    const OPS: usize = 8_000;
+    let _watchdog = testkit::stress_watchdog("identical_traces_across_all_structures");
+    let ops = testkit::stress_iters(8_000) as usize;
     const RANGE: u64 = 512;
     const SEED: u64 = 0xD1FF;
 
     let reference = trace(
         &CitrusTree::<u64, u64>::with_reclaim(ReclaimMode::Epoch),
-        OPS,
+        ops,
         RANGE,
         SEED,
     );
 
     let citrus_leak = trace(
         &CitrusTree::<u64, u64>::with_reclaim(ReclaimMode::Leak),
-        OPS,
+        ops,
         RANGE,
         SEED,
     );
@@ -53,24 +54,24 @@ fn identical_traces_across_all_structures() {
 
     let citrus_std = trace(
         &CitrusTree::<u64, u64, GlobalLockRcu>::new(),
-        OPS,
+        ops,
         RANGE,
         SEED,
     );
     assert_eq!(reference, citrus_std, "citrus global-lock-RCU diverged");
 
-    let avl = trace(&OptimisticAvlTree::<u64, u64>::new(), OPS, RANGE, SEED);
+    let avl = trace(&OptimisticAvlTree::<u64, u64>::new(), ops, RANGE, SEED);
     assert_eq!(reference, avl, "AVL diverged");
 
-    let skiplist = trace(&LazySkipList::<u64, u64>::new(), OPS, RANGE, SEED);
+    let skiplist = trace(&LazySkipList::<u64, u64>::new(), ops, RANGE, SEED);
     assert_eq!(reference, skiplist, "skiplist diverged");
 
-    let lockfree = trace(&LockFreeBst::<u64, u64>::new(), OPS, RANGE, SEED);
+    let lockfree = trace(&LockFreeBst::<u64, u64>::new(), ops, RANGE, SEED);
     assert_eq!(reference, lockfree, "lock-free BST diverged");
 
-    let rbtree = trace(&RelativisticRbTree::<u64, u64>::new(), OPS, RANGE, SEED);
+    let rbtree = trace(&RelativisticRbTree::<u64, u64>::new(), ops, RANGE, SEED);
     assert_eq!(reference, rbtree, "red-black tree diverged");
 
-    let bonsai = trace(&BonsaiTree::<u64, u64>::new(), OPS, RANGE, SEED);
+    let bonsai = trace(&BonsaiTree::<u64, u64>::new(), ops, RANGE, SEED);
     assert_eq!(reference, bonsai, "bonsai diverged");
 }

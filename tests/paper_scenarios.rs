@@ -2,7 +2,7 @@
 //! to motivate its design (Figures 1, 4 and 5), exercised on every
 //! structure where they apply.
 
-use citrus_repro::citrus_api::testkit::SplitMix64;
+use citrus_repro::citrus_api::testkit::{self, SplitMix64};
 use citrus_repro::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -13,7 +13,7 @@ use std::sync::Barrier;
 /// top key has two children and the block's permanent key (`base+20`) as
 /// successor, then deletes the top key — a guaranteed successor move.
 fn figure4_no_false_negatives<M: ConcurrentMap<u64, u64>>(map: &M) {
-    const ROUNDS: u64 = 500;
+    let rounds = testkit::stress_iters(500);
     let published = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
     let misses = AtomicU64::new(0);
@@ -23,7 +23,7 @@ fn figure4_no_false_negatives<M: ConcurrentMap<u64, u64>>(map: &M) {
         scope.spawn(move || {
             let mut s = map_c.session();
             barrier_c.wait();
-            for r in 0..ROUNDS {
+            for r in 0..rounds {
                 let base = r * 100;
                 for k in [10, 5, 30, 20, 40] {
                     s.insert(base + k, base + k);
@@ -66,12 +66,14 @@ fn figure4_no_false_negatives<M: ConcurrentMap<u64, u64>>(map: &M) {
 
 #[test]
 fn figure4_citrus() {
+    let _watchdog = testkit::stress_watchdog("figure4_citrus");
     figure4_no_false_negatives(&CitrusTree::<u64, u64>::new());
     figure4_no_false_negatives(&CitrusTree::<u64, u64, GlobalLockRcu>::new());
 }
 
 #[test]
 fn figure4_baselines() {
+    let _watchdog = testkit::stress_watchdog("figure4_baselines");
     figure4_no_false_negatives(&RelativisticRbTree::<u64, u64>::new());
     figure4_no_false_negatives(&BonsaiTree::<u64, u64>::new());
     figure4_no_false_negatives(&OptimisticAvlTree::<u64, u64>::new());
@@ -82,14 +84,14 @@ fn figure4_baselines() {
 /// Figure 5 — an insert whose `prev` is deleted mid-operation must not be
 /// lost: tag/marked validation forces a retry.
 fn figure5_no_lost_inserts<M: ConcurrentMap<u64, u64>>(map: &M) {
-    const ROUNDS: u64 = 400;
+    let rounds = testkit::stress_iters(400);
     let barrier = Barrier::new(2);
     std::thread::scope(|scope| {
         let (map_a, barrier_a) = (&*map, &barrier);
         scope.spawn(move || {
             let mut s = map_a.session();
             barrier_a.wait();
-            for r in 0..ROUNDS {
+            for r in 0..rounds {
                 let parent = r * 10 + 5;
                 s.insert(parent, parent);
                 s.remove(&parent);
@@ -99,14 +101,14 @@ fn figure5_no_lost_inserts<M: ConcurrentMap<u64, u64>>(map: &M) {
         scope.spawn(move || {
             let mut s = map_b.session();
             barrier_b.wait();
-            for r in 0..ROUNDS {
+            for r in 0..rounds {
                 let child = r * 10 + 6;
                 assert!(s.insert(child, child));
             }
         });
     });
     let mut s = map.session();
-    for r in 0..ROUNDS {
+    for r in 0..rounds {
         let child = r * 10 + 6;
         assert_eq!(s.get(&child), Some(child), "insert of {child} was lost");
     }
@@ -114,6 +116,7 @@ fn figure5_no_lost_inserts<M: ConcurrentMap<u64, u64>>(map: &M) {
 
 #[test]
 fn figure5_all_structures() {
+    let _watchdog = testkit::stress_watchdog("figure5_all_structures");
     figure5_no_lost_inserts(&CitrusTree::<u64, u64>::new());
     figure5_no_lost_inserts(&OptimisticAvlTree::<u64, u64>::new());
     figure5_no_lost_inserts(&LockFreeBst::<u64, u64>::new());
@@ -128,6 +131,7 @@ fn figure5_all_structures() {
 /// multi-key snapshots are only offered at quiescence.
 #[test]
 fn figure1_single_key_reads_are_consistent() {
+    let _watchdog = testkit::stress_watchdog("figure1_single_key_reads_are_consistent");
     let tree: CitrusTree<u64, u64> = CitrusTree::new();
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -135,7 +139,7 @@ fn figure1_single_key_reads_are_consistent() {
         scope.spawn(move || {
             let mut s = t1.session();
             let mut rng = SplitMix64::new(9);
-            for _ in 0..30_000 {
+            for _ in 0..testkit::stress_iters(30_000) {
                 let k = rng.below(64);
                 if rng.below(2) == 0 {
                     s.insert(k, k * 1_000 + 7);
@@ -174,6 +178,7 @@ fn figure1_single_key_reads_are_consistent() {
 /// every series (this is the smoke version of Figures 8–10).
 #[test]
 fn harness_end_to_end_smoke() {
+    let _watchdog = testkit::stress_watchdog("harness_end_to_end_smoke");
     use citrus_repro::citrus_harness::{experiments, BenchConfig};
     let cfg = BenchConfig::smoke();
     let f8 = experiments::fig8(&cfg);
