@@ -569,6 +569,87 @@ where
     }
 }
 
+/// Checks the grace-period property end-to-end against an [`RcuFlavor`],
+/// with grace-period *sharing* (piggybacked `synchronize_rcu` returns,
+/// DESIGN.md §6d) exercised whenever `syncers > 1`:
+///
+/// `syncers` threads each repeatedly unpublish a value, call
+/// `synchronize`, and only then mark the value freed. Two reader threads
+/// continuously enter read-side critical sections, load the currently
+/// published value, and assert — both on entry and again just before
+/// leaving the section — that it has not been freed. A `synchronize` that
+/// returns early (e.g. a piggyback riding a grace period that started
+/// before the caller's entry fence) frees a value some still-running
+/// reader observed, and the reader's second assertion fires.
+///
+/// Values are never republished, so the assertions are exact, not
+/// heuristic. Run it under an installed [`ChaosPlan`] to sweep schedule
+/// perturbations over the piggyback decision window.
+///
+/// # Panics
+///
+/// Panics if a freed value is observed inside a read-side critical
+/// section — i.e. if `synchronize` violated the RCU property.
+pub fn check_grace_period_property<F>(rcu: &F, syncers: usize, rounds: usize)
+where
+    F: citrus_rcu::RcuFlavor,
+{
+    use citrus_rcu::RcuHandle as _;
+    use std::sync::atomic::AtomicUsize;
+
+    let total = syncers * rounds + 1;
+    let freed: Vec<AtomicBool> = (0..total).map(|_| AtomicBool::new(false)).collect();
+    let published = AtomicUsize::new(0);
+    let next = AtomicUsize::new(1);
+    let syncers_done = AtomicUsize::new(0);
+    let barrier = Barrier::new(syncers + 2);
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let (freed, published, syncers_done, barrier) =
+                (&freed, &published, &syncers_done, &barrier);
+            s.spawn(move || {
+                let h = rcu.register();
+                barrier.wait();
+                while syncers_done.load(Ordering::Acquire) < syncers {
+                    let g = h.read_lock();
+                    let v = published.load(Ordering::Acquire);
+                    assert!(
+                        !freed[v].load(Ordering::SeqCst),
+                        "value {v} was freed while still published"
+                    );
+                    // Dwell inside the section so a racing synchronize has
+                    // a window to (incorrectly) return early.
+                    for _ in 0..64 {
+                        core::hint::spin_loop();
+                    }
+                    assert!(
+                        !freed[v].load(Ordering::SeqCst),
+                        "grace period ended while a reader that observed \
+                         value {v} was still inside its critical section"
+                    );
+                    drop(g);
+                }
+            });
+        }
+        for _ in 0..syncers {
+            let (freed, published, next, syncers_done, barrier) =
+                (&freed, &published, &next, &syncers_done, &barrier);
+            s.spawn(move || {
+                let h = rcu.register();
+                barrier.wait();
+                for _ in 0..rounds {
+                    let fresh = next.fetch_add(1, Ordering::Relaxed);
+                    let old = published.swap(fresh, Ordering::AcqRel);
+                    h.synchronize();
+                    freed[old].store(true, Ordering::SeqCst);
+                }
+                syncers_done.fetch_add(1, Ordering::Release);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,11 +6,16 @@
 //!   separate stores + fence.
 //! * **D3** — reclamation: Citrus in `Leak` mode (paper methodology) vs
 //!   `Epoch` mode (EBR) under the 50%-contains workload.
+//! * **D5** — grace-period sharing: concurrent `synchronize_rcu` callers
+//!   piggybacking on a peer's grace period vs every caller scanning for
+//!   itself (`CITRUS_RCU_NO_SHARING`), per RCU flavor.
 
+use citrus_bench::synchronize_storm;
 use citrus_harness::{runner, Algo, BenchConfig, OpMix, WorkloadSpec};
+use citrus_rcu::{GlobalLockRcu, RcuFlavor, ScalableRcu};
 use citrus_sync::RawSpinLock;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn bench_ns(label: &str, iters: u32, mut f: impl FnMut()) -> f64 {
     let start = Instant::now();
@@ -84,6 +89,37 @@ fn main() {
     }
     println!(
         "\nexpected: Leak (paper methodology) modestly above Epoch — EBR's pin/\n\
-         retire bookkeeping is the price of bounded memory."
+         retire bookkeeping is the price of bounded memory.\n"
+    );
+
+    println!("D5 — grace-period sharing (4 concurrent synchronizers, 2 readers):");
+    let dur = Duration::from_millis(
+        std::env::var("CITRUS_DURATION_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200),
+    );
+    fn d5_row<F: RcuFlavor>(label: &str, rcu: &F, dur: Duration) {
+        let cell = synchronize_storm(rcu, 4, 2, dur);
+        println!(
+            "  {label:<42} {:>10.0} sync/s  ({} piggybacked, {} full GPs)",
+            cell.per_sec, cell.piggybacks, cell.grace_periods
+        );
+    }
+    d5_row("scalable, shared", &ScalableRcu::with_sharing(true), dur);
+    d5_row("scalable, unshared", &ScalableRcu::with_sharing(false), dur);
+    d5_row(
+        "global-lock, shared",
+        &GlobalLockRcu::with_sharing(true),
+        dur,
+    );
+    d5_row(
+        "global-lock, unshared",
+        &GlobalLockRcu::with_sharing(false),
+        dur,
+    );
+    println!(
+        "\nexpected: shared above unshared — queued synchronizers return on a\n\
+         peer's grace period instead of scanning for themselves (DESIGN.md §6d)."
     );
 }

@@ -2,16 +2,28 @@
 //! Figure 8 directly —
 //!
 //! 1. read-side cost (`rcu_read_lock` + `rcu_read_unlock`) per flavor;
-//! 2. `synchronize_rcu` completion rate as the number of *concurrent*
-//!    synchronizers grows, with a reader population in the background.
+//! 2. `synchronize_rcu` storm: aggregate completion rate as the number of
+//!    *concurrent* synchronizers grows (up to 8), per flavor, with
+//!    grace-period sharing on and off, plus the piggyback counts that
+//!    explain the difference.
 //!
 //! The global-lock flavor's synchronize rate should flatten (callers
-//! serialize); the scalable flavor's aggregate rate should not.
+//! serialize); the scalable flavor's aggregate rate should not — and with
+//! sharing on, queued callers increasingly return on a peer's grace
+//! period instead of scanning themselves.
+//!
+//! Results are persisted to `BENCH_rcu_micro.json` (see
+//! `citrus_bench::benchjson`). Set `CITRUS_STORM_REQUIRE_PIGGYBACK=1` to
+//! make the run fail unless the widest sharing-on cell of each flavor
+//! piggybacked at least once (used as a CI smoke assertion).
 
+use citrus_bench::{benchjson, synchronize_storm, StormCell};
 use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle, ScalableRcu};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
+
+const SYNCERS: [usize; 4] = [1, 2, 4, 8];
+const READERS: usize = 2;
 
 fn read_side_cost<F: RcuFlavor>() -> f64 {
     let rcu = F::new();
@@ -26,58 +38,41 @@ fn read_side_cost<F: RcuFlavor>() -> f64 {
     start.elapsed().as_nanos() as f64 / f64::from(ITERS)
 }
 
-/// Aggregate `synchronize_rcu` completions/s with `syncers` concurrent
-/// synchronizing threads and two background readers.
-fn synchronize_rate<F: RcuFlavor>(syncers: usize, dur: Duration) -> f64 {
-    let rcu = F::new();
-    let stop = AtomicBool::new(false);
-    let total = AtomicU64::new(0);
-    let barrier = Barrier::new(syncers + 3);
-    std::thread::scope(|s| {
-        for _ in 0..2 {
-            let (rcu, stop, barrier) = (&rcu, &stop, &barrier);
-            s.spawn(move || {
-                let h = rcu.register();
-                barrier.wait();
-                while !stop.load(Ordering::Relaxed) {
-                    let _g = h.read_lock();
-                    std::hint::spin_loop();
-                }
-            });
-        }
-        for _ in 0..syncers {
-            let (rcu, stop, total, barrier) = (&rcu, &stop, &total, &barrier);
-            s.spawn(move || {
-                let h = rcu.register();
-                let mut n = 0u64;
-                barrier.wait();
-                while !stop.load(Ordering::Relaxed) {
-                    h.synchronize();
-                    n += 1;
-                }
-                total.fetch_add(n, Ordering::Relaxed);
-            });
-        }
-        barrier.wait();
-        std::thread::sleep(dur);
-        stop.store(true, Ordering::Relaxed);
-    });
-    total.load(Ordering::Relaxed) as f64 / dur.as_secs_f64()
+/// One storm row: a fresh domain per cell so piggyback/grace-period
+/// deltas are per-cell and earlier cells can't warm later ones.
+fn storm_row<F: RcuFlavor, M: Fn() -> F>(make: M, dur: Duration) -> Vec<StormCell> {
+    SYNCERS
+        .iter()
+        .map(|&n| synchronize_storm(&make(), n, READERS, dur))
+        .collect()
+}
+
+fn print_row(label: &str, cells: &[StormCell]) {
+    print!("{label:<28}");
+    for c in cells {
+        print!("{:>14.0}", c.per_sec);
+    }
+    print!("   piggybacks:");
+    for c in cells {
+        print!(" {}", c.piggybacks);
+    }
+    println!();
+}
+
+fn env_flag(name: &str) -> bool {
+    matches!(
+        std::env::var(name).ok().as_deref().map(str::trim),
+        Some("1" | "true" | "yes")
+    )
 }
 
 fn main() {
     println!("=== RCU micro-benchmarks ===\n");
     println!("read-side critical section cost (lock+unlock, ns/pair):");
-    println!(
-        "  {:<18} {:>8.1}",
-        ScalableRcu::NAME,
-        read_side_cost::<ScalableRcu>()
-    );
-    println!(
-        "  {:<18} {:>8.1}",
-        GlobalLockRcu::NAME,
-        read_side_cost::<GlobalLockRcu>()
-    );
+    let read_scalable = read_side_cost::<ScalableRcu>();
+    let read_global = read_side_cost::<GlobalLockRcu>();
+    println!("  {:<18} {read_scalable:>8.1}", ScalableRcu::NAME);
+    println!("  {:<18} {read_global:>8.1}", GlobalLockRcu::NAME);
 
     let dur = Duration::from_millis(
         std::env::var("CITRUS_DURATION_MS")
@@ -85,26 +80,95 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(200),
     );
-    println!("\nsynchronize_rcu aggregate completions/s (2 background readers):");
-    println!("{:<20}{:>12}{:>12}{:>12}", "flavor \\ syncers", 1, 2, 4);
-    for (name, rates) in [
+    println!(
+        "\nsynchronize_rcu storm: aggregate completions/s ({READERS} background \
+         readers, {dur:?}/cell):"
+    );
+    print!("{:<28}", "flavor / sharing \\ syncers");
+    for n in SYNCERS {
+        print!("{n:>14}");
+    }
+    println!();
+
+    let rows: Vec<(&str, bool, Vec<StormCell>)> = vec![
         (
             ScalableRcu::NAME,
-            [1, 2, 4].map(|n| synchronize_rate::<ScalableRcu>(n, dur)),
+            true,
+            storm_row(|| ScalableRcu::with_sharing(true), dur),
+        ),
+        (
+            ScalableRcu::NAME,
+            false,
+            storm_row(|| ScalableRcu::with_sharing(false), dur),
         ),
         (
             GlobalLockRcu::NAME,
-            [1, 2, 4].map(|n| synchronize_rate::<GlobalLockRcu>(n, dur)),
+            true,
+            storm_row(|| GlobalLockRcu::with_sharing(true), dur),
         ),
-    ] {
-        println!(
-            "{:<20}{:>12.0}{:>12.0}{:>12.0}",
-            name, rates[0], rates[1], rates[2]
-        );
+        (
+            GlobalLockRcu::NAME,
+            false,
+            storm_row(|| GlobalLockRcu::with_sharing(false), dur),
+        ),
+    ];
+    for (name, sharing, cells) in &rows {
+        let label = format!("{name} ({})", if *sharing { "shared" } else { "unshared" });
+        print_row(&label, cells);
     }
     println!(
         "\nexpected: the global-lock flavor's rate stays flat or degrades with\n\
          more synchronizers (they serialize); the scalable flavor's aggregate\n\
-         rate grows — the mechanism behind Fig. 8."
+         rate grows — the mechanism behind Fig. 8. With sharing on, queued\n\
+         synchronizers piggyback on a peer's grace period (DESIGN.md §6d)."
     );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"rcu_micro\",\n  \"read_side_ns\": {{\"{}\": {}, \"{}\": {}}},\n  \
+         \"storm\": {{\n    \"duration_ms\": {},\n    \"readers\": {READERS},\n    \"cells\": [",
+        benchjson::esc(ScalableRcu::NAME),
+        benchjson::num(read_scalable),
+        benchjson::esc(GlobalLockRcu::NAME),
+        benchjson::num(read_global),
+        dur.as_millis(),
+    );
+    let mut first = true;
+    for (name, sharing, cells) in &rows {
+        for c in cells {
+            let _ = write!(
+                json,
+                "{}\n      {{\"flavor\": \"{}\", \"sharing\": {sharing}, \"syncers\": {}, \
+                 \"synchronize_per_s\": {}, \"piggybacks\": {}, \"grace_periods\": {}}}",
+                if first { "" } else { "," },
+                benchjson::esc(name),
+                c.syncers,
+                benchjson::num(c.per_sec),
+                c.piggybacks,
+                c.grace_periods,
+            );
+            first = false;
+        }
+    }
+    json.push_str("\n    ]\n  }\n}\n");
+    match benchjson::write("rcu_micro", &json) {
+        Ok(path) => println!("\n(bench json: {})", path.display()),
+        Err(e) => eprintln!("\n(bench json write failed: {e})"),
+    }
+
+    if env_flag("CITRUS_STORM_REQUIRE_PIGGYBACK") {
+        for (name, sharing, cells) in &rows {
+            let widest = cells.last().expect("storm rows are non-empty");
+            if *sharing && widest.piggybacks == 0 {
+                eprintln!(
+                    "CITRUS_STORM_REQUIRE_PIGGYBACK: {name} ran {} syncers with \
+                     sharing on but recorded no piggybacked synchronize calls",
+                    widest.syncers
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("(piggyback smoke check passed: every sharing-on flavor piggybacked)");
+    }
 }

@@ -12,8 +12,15 @@
 #![warn(missing_docs)]
 
 use citrus_harness::{BenchConfig, Report};
+use citrus_rcu::{RcuFlavor, RcuHandle};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
 
-/// Prints a report and writes its CSV, logging the path.
+pub mod benchjson;
+
+/// Prints a report, writes its CSV, and persists the machine-readable
+/// `BENCH_<csv_name>.json` trajectory file, logging the paths.
 ///
 /// If the report carries an internal-metrics snapshot it is printed as an
 /// extra section and written alongside as `<csv_name>_metrics.csv`.
@@ -29,9 +36,113 @@ pub fn emit(report: &Report, csv_name: &str) {
                         .display()
                 );
             }
-            println!();
         }
-        Err(e) => eprintln!("(csv write failed: {e})\n"),
+        Err(e) => eprintln!("(csv write failed: {e})"),
+    }
+    match benchjson::write(csv_name, &report_bench_json(report, csv_name)) {
+        Ok(path) => println!("(bench json: {})\n", path.display()),
+        Err(e) => eprintln!("(bench json write failed: {e})\n"),
+    }
+}
+
+/// Renders a [`Report`] as the `BENCH_<name>.json` document: bench name,
+/// title, thread sweep, and one ops/s array per series.
+pub fn report_bench_json(report: &Report, name: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"bench\": \"{}\",\n  \"title\": \"{}\",\n  \"threads\": [{}],\n  \"series\": [",
+        benchjson::esc(name),
+        benchjson::esc(&report.title),
+        report
+            .threads
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for (i, series) in report.series.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"label\": \"{}\", \"ops_per_s\": [{}]}}",
+            if i == 0 { "" } else { "," },
+            benchjson::esc(&series.label),
+            series
+                .points
+                .iter()
+                .map(|&p| benchjson::num(p))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// One cell of the multi-synchronizer storm ([`synchronize_storm`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StormCell {
+    /// Concurrent synchronizing threads.
+    pub syncers: usize,
+    /// Aggregate `synchronize_rcu` completions per second.
+    pub per_sec: f64,
+    /// Piggybacked returns during the cell (grace-period sharing hits).
+    pub piggybacks: u64,
+    /// Full grace periods run during the cell.
+    pub grace_periods: u64,
+}
+
+/// Runs `syncers` threads hammering `synchronize_rcu` on `rcu` for `dur`,
+/// with `readers` background readers keeping scans honest; returns the
+/// aggregate completion rate plus this cell's piggyback and grace-period
+/// deltas. The workhorse behind `rcu_micro`'s storm mode and the D5
+/// grace-period-sharing ablation.
+pub fn synchronize_storm<F: RcuFlavor>(
+    rcu: &F,
+    syncers: usize,
+    readers: usize,
+    dur: Duration,
+) -> StormCell {
+    let piggybacks_before = rcu.synchronize_piggybacks();
+    let grace_periods_before = rcu.grace_periods();
+    let done = AtomicUsize::new(0);
+    let total = AtomicU64::new(0);
+    let barrier = Barrier::new(syncers + readers + 1);
+    std::thread::scope(|s| {
+        for _ in 0..readers {
+            let (rcu, done, barrier) = (rcu, &done, &barrier);
+            s.spawn(move || {
+                let h = rcu.register();
+                barrier.wait();
+                while done.load(Ordering::Relaxed) < syncers {
+                    let _g = h.read_lock();
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        for _ in 0..syncers {
+            let (rcu, done, total, barrier) = (rcu, &done, &total, &barrier);
+            s.spawn(move || {
+                let h = rcu.register();
+                let mut n = 0u64;
+                barrier.wait();
+                let start = std::time::Instant::now();
+                while start.elapsed() < dur {
+                    h.synchronize();
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+    });
+    StormCell {
+        syncers,
+        per_sec: total.load(Ordering::Relaxed) as f64 / dur.as_secs_f64(),
+        piggybacks: rcu.synchronize_piggybacks() - piggybacks_before,
+        grace_periods: rcu.grace_periods() - grace_periods_before,
     }
 }
 

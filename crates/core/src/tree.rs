@@ -95,13 +95,21 @@ impl<K, V, F: RcuFlavor> CitrusTree<K, V, F> {
 
     /// Creates an empty tree with the given reclamation mode.
     pub fn with_reclaim(mode: ReclaimMode) -> Self {
+        Self::with_rcu(F::new(), mode)
+    }
+
+    /// Creates an empty tree over a caller-constructed RCU domain — lets
+    /// tests and ablations pin a domain configuration (e.g.
+    /// `ScalableRcu::with_sharing(false)`) regardless of environment
+    /// knobs like `CITRUS_RCU_NO_SHARING`.
+    pub fn with_rcu(rcu: F, mode: ReclaimMode) -> Self {
         let inf = Node::new_leaf(KeyBound::PosInf, None);
         let root = Node::new_leaf(KeyBound::NegInf, None);
         // SAFETY: freshly allocated, exclusively owned until `Self` exists.
         unsafe { (*root).set_child(Dir::Right, inf) };
         Self {
             root,
-            rcu: F::new(),
+            rcu,
             reclaim: match mode {
                 ReclaimMode::Leak => ReclaimInner::Leak(SpinMutex::new(Vec::new())),
                 ReclaimMode::Epoch => ReclaimInner::Epoch(EbrDomain::new()),

@@ -79,6 +79,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Pre-fills `map` with `spec.prefill` distinct random keys from the key
 /// range (the paper pre-fills to half the range).
 fn prefill<M: ConcurrentMap<u64, u64>>(map: &M, spec: &WorkloadSpec, seed: u64) {
+    // `WorkloadSpec` fields are `pub`: a hand-built spec can ask for more
+    // distinct prefilled keys than the key range holds, which would spin
+    // the rejection loop below forever. Fail with a diagnosis instead.
+    assert!(
+        spec.prefill <= spec.key_range,
+        "workload prefill ({}) exceeds key range ({}): cannot prefill more \
+         distinct keys than the range contains",
+        spec.prefill,
+        spec.key_range
+    );
     let mut rng = SplitMix64::new(seed);
     let mut session = map.session();
     let mut inserted = 0;
@@ -284,6 +294,17 @@ mod tests {
         prefill(&map, &spec, 3);
         let mut map = map;
         assert_eq!(map.len_quiescent(), 250);
+    }
+
+    // Regression: an impossible hand-built spec used to spin the prefill
+    // rejection loop forever; it must abort with a diagnosis instead.
+    #[test]
+    #[should_panic(expected = "exceeds key range")]
+    fn prefill_rejects_impossible_spec() {
+        let map: CitrusTree<u64, u64> = CitrusTree::new();
+        let mut spec = WorkloadSpec::new(100, OpMix::read_only(), 1, Duration::from_millis(1));
+        spec.prefill = 101; // more distinct keys than the range holds
+        prefill(&map, &spec, 3);
     }
 
     #[test]

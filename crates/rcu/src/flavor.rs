@@ -75,6 +75,14 @@ pub trait RcuFlavor: Send + Sync + Default + 'static {
         0
     }
 
+    /// Number of `synchronize` calls that returned by piggybacking on a
+    /// concurrent caller's completed grace period instead of finishing
+    /// their own reader scan (grace-period sharing, DESIGN.md §6d).
+    /// Counted unconditionally (not gated on the `stats` feature).
+    fn synchronize_piggybacks(&self) -> u64 {
+        0
+    }
+
     /// Takes the most recent stall diagnostic, if any.
     fn take_stall_diagnostic(&self) -> Option<String> {
         None

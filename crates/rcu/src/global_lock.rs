@@ -75,23 +75,48 @@ pub struct GlobalLockRcu {
     gp_lock: SpinMutex<()>,
     /// Global grace-period phase, in steps of [`PHASE_ONE`].
     gp_phase: AtomicU64,
+    /// Queued-waiter grace-period sharing enabled (urcu-style; see
+    /// [`Self::with_sharing`]).
+    sharing: bool,
     registry: Registry<ReaderSlot>,
     grace_periods: AtomicU64,
+    /// Piggybacked `synchronize` returns, counted unconditionally.
+    piggybacks: AtomicU64,
     metrics: RcuMetrics,
     watchdog: StallWatchdog,
 }
 
 impl GlobalLockRcu {
-    /// Creates a new domain with no registered threads.
+    /// Creates a new domain with no registered threads. Grace-period
+    /// sharing follows the environment
+    /// ([`gp_sharing_from_env`](crate::gp_sharing_from_env)).
     pub fn new() -> Self {
+        Self::with_sharing(crate::gp_sharing_from_env())
+    }
+
+    /// Creates a new domain with grace-period sharing forced on or off,
+    /// ignoring `CITRUS_RCU_NO_SHARING`. With sharing on, a caller that
+    /// queued behind `gp_lock` while two full phase flips elapsed returns
+    /// on acquiry without flipping again (liburcu's batching idea);
+    /// semantics are unchanged either way.
+    pub fn with_sharing(sharing: bool) -> Self {
         Self {
             gp_lock: SpinMutex::new(()),
             gp_phase: AtomicU64::new(PHASE_ONE),
+            sharing,
             registry: Registry::new(),
             grace_periods: AtomicU64::new(0),
+            piggybacks: AtomicU64::new(0),
             metrics: RcuMetrics::new(),
             watchdog: StallWatchdog::new(),
         }
+    }
+
+    /// `true` when this domain shares grace periods between queued
+    /// synchronizers.
+    #[must_use]
+    pub fn sharing(&self) -> bool {
+        self.sharing
     }
 }
 
@@ -106,6 +131,8 @@ impl fmt::Debug for GlobalLockRcu {
         f.debug_struct("GlobalLockRcu")
             .field("threads", &self.registry.slot_count())
             .field("grace_periods", &self.grace_periods())
+            .field("sharing", &self.sharing)
+            .field("piggybacks", &self.synchronize_piggybacks())
             .finish()
     }
 }
@@ -140,6 +167,10 @@ impl RcuFlavor for GlobalLockRcu {
 
     fn stall_events(&self) -> u64 {
         self.watchdog.events()
+    }
+
+    fn synchronize_piggybacks(&self) -> u64 {
+        self.piggybacks.load(Ordering::Relaxed)
     }
 
     fn take_stall_diagnostic(&self) -> Option<String> {
@@ -178,11 +209,18 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
     #[inline]
     fn raw_read_unlock(&self) {
         let n = self.nesting.get();
-        debug_assert!(n > 0, "read_unlock without matching read_lock");
-        self.nesting.set(n - 1);
-        if n == 1 {
-            // Order the section's loads before the quiescence signal.
-            fence(Ordering::Release);
+        // Same underflow hazard as the scalable flavor: wrapping to
+        // u32::MAX in release builds would pin in_read_section() true and
+        // wedge later grace periods — fail loudly in every build.
+        let Some(rest) = n.checked_sub(1) else {
+            panic!("read_unlock without matching read_lock");
+        };
+        self.nesting.set(rest);
+        if rest == 0 {
+            // The Release store alone orders the section's loads before the
+            // quiescence signal: it pairs with the synchronizer's Acquire
+            // load of this word in the flip wait-loop, so no separate
+            // release fence is needed.
             self.slot.word.store(0, Ordering::Release);
         }
     }
@@ -196,24 +234,59 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
         // Time from before lock acquisition: queueing behind other
         // synchronizers is precisely the latency Fig. 8 is about.
         let stopwatch = Stopwatch::start();
+        // Order the caller's prior stores before the phase snapshot below
+        // (and before the flips, for the non-shared path).
+        fence(Ordering::SeqCst);
+        // Grace-period sharing (DESIGN.md §6d), urcu-style: snapshot the
+        // phase *before* queueing on the lock.
+        let snap = domain
+            .sharing
+            .then(|| domain.gp_phase.load(Ordering::SeqCst));
         // === The global lock: all synchronizers serialize here. ===
         let _gp = domain.gp_lock.lock();
-        fence(Ordering::SeqCst);
+        if let Some(snap) = snap {
+            // The piggyback decision window for the queued waiter.
+            chaos::point("rcu-global-lock/synchronize/piggyback-check");
+            if domain.gp_phase.load(Ordering::SeqCst).wrapping_sub(snap) >= 2 * PHASE_ONE {
+                // Two full flips elapsed while we queued. Both started
+                // after our snapshot (their fetch_adds are SeqCst-after our
+                // phase load), and their reader waits completed before the
+                // prior holders released the lock — which happens-before
+                // our acquiry. Every reader in-section at our fence has
+                // exited; return without flipping.
+                drop(_gp);
+                domain.piggybacks.fetch_add(1, Ordering::Relaxed);
+                domain.metrics.record_synchronize_piggyback(self.stripe);
+                domain
+                    .metrics
+                    .record_synchronize(self.stripe, stopwatch.elapsed_ns());
+                domain.metrics.record_scan_slots(0);
+                return;
+            }
+        }
         let own = core::ptr::from_ref::<ReaderSlot>(&self.slot).cast::<u8>();
         // Two phase flips, as in liburcu: a reader may fetch the phase and
         // publish its word a moment later, so one flip can miss it; it
         // cannot survive two.
         let stall_limit = domain.watchdog.timeout();
+        let mut scanned = 0u64;
         for _ in 0..2 {
             // A synchronizer paused between flips holds the global lock
             // while readers keep entering under the first new phase.
             chaos::point("rcu-global-lock/synchronize/phase-flip");
             let new_phase = domain.gp_phase.fetch_add(PHASE_ONE, Ordering::SeqCst) + PHASE_ONE;
+            // Order the flip before the reader scan in the SeqCst total
+            // order: a queued waiter that piggybacks on this flip pair
+            // snapshotted the phase before this fetch_add, so readers whose
+            // read-lock fences precede that snapshot also precede this
+            // fence and are therefore observed below with current words.
+            fence(Ordering::SeqCst);
             for (index, slot) in domain.registry.iter().enumerate() {
                 chaos::point("rcu-global-lock/synchronize/scan-step");
                 if core::ptr::from_ref::<ReaderSlot>(slot.value()).cast::<u8>() == own {
                     continue;
                 }
+                scanned += 1;
                 let word = &slot.value().word;
                 let backoff = Backoff::new();
                 let mut waited_since: Option<Instant> = None;
@@ -244,6 +317,7 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
         domain
             .metrics
             .record_synchronize(self.stripe, stopwatch.elapsed_ns());
+        domain.metrics.record_scan_slots(scanned);
     }
 
     #[inline]
@@ -356,5 +430,103 @@ mod tests {
         let h = rcu.register();
         assert!(format!("{rcu:?}").contains("GlobalLockRcu"));
         assert!(format!("{h:?}").contains("GlobalLockRcuHandle"));
+    }
+
+    // In every build profile, not just debug (the release-mode nesting
+    // underflow would wedge all later grace periods).
+    #[test]
+    #[should_panic(expected = "read_unlock without matching read_lock")]
+    fn unbalanced_unlock_panics() {
+        let rcu = GlobalLockRcu::new();
+        let h = rcu.register();
+        h.raw_read_unlock();
+    }
+
+    /// Queued-waiter sharing: while synchronizer A is blocked mid-grace-
+    /// period on a parked reader, B and C queue behind the lock (snapshots
+    /// taken after A's first flip). Once the reader leaves, whichever of
+    /// B/C acquires the lock second sees both the tail of A's grace period
+    /// and the first acquirer's full one — two flip pairs after its
+    /// snapshot — and piggybacks.
+    #[test]
+    fn queued_synchronizers_piggyback() {
+        let rcu = GlobalLockRcu::with_sharing(true);
+        assert!(rcu.sharing());
+        let reader_in = AtomicBool::new(false);
+        let release_reader = AtomicBool::new(false);
+        let first_flipped = AtomicBool::new(false);
+        let queued = AtomicU64::new(0);
+
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let h = rcu.register();
+                let g = h.read_lock();
+                reader_in.store(true, Ordering::SeqCst);
+                let backoff = Backoff::new();
+                while !release_reader.load(Ordering::SeqCst) {
+                    backoff.snooze();
+                }
+                drop(g);
+            });
+            let phase_at_start = rcu.gp_phase.load(Ordering::SeqCst);
+            s.spawn(|| {
+                let h = rcu.register();
+                let backoff = Backoff::new();
+                while !reader_in.load(Ordering::SeqCst) {
+                    backoff.snooze();
+                }
+                h.synchronize(); // A: blocks on the reader mid-GP
+            });
+            // Wait for A's first flip so B and C snapshot after it.
+            let backoff = Backoff::new();
+            while rcu.gp_phase.load(Ordering::SeqCst) == phase_at_start {
+                backoff.snooze();
+            }
+            first_flipped.store(true, Ordering::SeqCst);
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let h = rcu.register();
+                    let backoff = Backoff::new();
+                    while !first_flipped.load(Ordering::SeqCst) {
+                        backoff.snooze();
+                    }
+                    queued.fetch_add(1, Ordering::SeqCst);
+                    h.synchronize(); // B / C: queue behind A
+                });
+            }
+            // Let B and C take their snapshots and queue behind the lock.
+            let backoff = Backoff::new();
+            while queued.load(Ordering::SeqCst) != 2 {
+                backoff.snooze();
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            release_reader.store(true, Ordering::SeqCst);
+        });
+        // All three callers were satisfied; at least one rode a peer's
+        // grace period rather than flipping its own.
+        assert!(
+            rcu.synchronize_piggybacks() >= 1,
+            "second queued waiter should have piggybacked"
+        );
+        assert_eq!(rcu.grace_periods() + rcu.synchronize_piggybacks(), 3);
+    }
+
+    /// With sharing off, queued waiters always flip for themselves.
+    #[test]
+    fn unshared_queued_synchronizers_never_piggyback() {
+        let rcu = GlobalLockRcu::with_sharing(false);
+        assert!(!rcu.sharing());
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let h = rcu.register();
+                    for _ in 0..20 {
+                        h.synchronize();
+                    }
+                });
+            }
+        });
+        assert_eq!(rcu.synchronize_piggybacks(), 0);
+        assert_eq!(rcu.grace_periods(), 60);
     }
 }

@@ -27,6 +27,14 @@
 //! swapping implementations — the whole point of Figure 8 — is a type
 //! parameter.
 //!
+//! Beyond the paper, both flavors *share* grace periods between concurrent
+//! `synchronize_rcu` callers (Linux-`gp_seq`-style piggybacking; see
+//! DESIGN.md §6d): a caller that observes a full grace period started
+//! after its own entry completed by someone else returns without finishing
+//! its own scan. Sharing changes throughput, never semantics; disable it
+//! with `CITRUS_RCU_NO_SHARING=1` ([`gp_sharing_from_env`]) or per domain
+//! with `with_sharing(false)`.
+//!
 //! # Thread model
 //!
 //! Threads participate by registering with a flavor instance
@@ -73,6 +81,25 @@ pub use flavor::{RcuFlavor, RcuHandle, RcuReadGuard};
 pub use global_lock::{GlobalLockRcu, GlobalLockRcuHandle};
 pub use metrics::RcuMetrics;
 pub use scalable::{ScalableRcu, ScalableRcuHandle};
+
+/// Grace-period sharing default for new domains: enabled unless the
+/// `CITRUS_RCU_NO_SHARING` environment variable is set to `1`, `true`, or
+/// `yes` (the ablation kill switch — see DESIGN.md §6d).
+///
+/// Consulted once per domain construction (`ScalableRcu::new` /
+/// `GlobalLockRcu::new`), never on the synchronize path; use
+/// [`ScalableRcu::with_sharing`] / [`GlobalLockRcu::with_sharing`] to pick
+/// a mode explicitly regardless of the environment.
+#[must_use]
+pub fn gp_sharing_from_env() -> bool {
+    !matches!(
+        std::env::var("CITRUS_RCU_NO_SHARING")
+            .ok()
+            .as_deref()
+            .map(str::trim),
+        Some("1" | "true" | "yes")
+    )
+}
 
 #[cfg(test)]
 mod tests {
