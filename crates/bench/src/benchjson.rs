@@ -11,7 +11,7 @@
 //! and the checked-in copy records the trajectory across commits.
 
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Escapes `s` for inclusion inside a JSON string literal (quotes not
 /// included).
@@ -50,7 +50,14 @@ pub fn num(v: f64) -> String {
 pub fn write(name: &str, body: &str) -> io::Result<PathBuf> {
     let dir =
         std::env::var_os("CITRUS_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
-    std::fs::create_dir_all(&dir)?;
+    write_to(&dir, name, body)
+}
+
+/// Writes `body` as `BENCH_<name>.json` under `dir` (created if missing)
+/// and returns the path. [`write`] is the env-reading wrapper; taking the
+/// directory explicitly keeps tests off the process-global environment.
+pub fn write_to(dir: &Path, name: &str, body: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("BENCH_{name}.json"));
     std::fs::write(&path, body)?;
     Ok(path)
@@ -75,13 +82,10 @@ mod tests {
     }
 
     #[test]
-    fn write_respects_bench_dir_and_names_file() {
+    fn write_to_creates_dir_and_names_file() {
         let dir = std::env::temp_dir().join("citrus_benchjson_test");
-        // Env vars are process-global; this is the only test that sets one
-        // in this crate, and it restores it immediately after.
-        std::env::set_var("CITRUS_BENCH_DIR", &dir);
-        let path = write("probe", "{\"ok\": true}\n").unwrap();
-        std::env::remove_var("CITRUS_BENCH_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_to(&dir, "probe", "{\"ok\": true}\n").unwrap();
         assert_eq!(path, dir.join("BENCH_probe.json"));
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\": true}\n");
         let _ = std::fs::remove_dir_all(&dir);

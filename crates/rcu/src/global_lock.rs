@@ -194,7 +194,14 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
         self.nesting.set(n + 1);
         if n == 0 {
             let phase = self.domain.gp_phase.load(Ordering::Relaxed);
-            self.slot.word.store(phase | ACTIVE, Ordering::Relaxed);
+            // Release, not Relaxed: the synchronizer's flip wait-loop also
+            // exits when it observes us re-entered *at the new phase* —
+            // i.e. when its Acquire load reads this store after an
+            // exit-and-re-enter. The previous unlock's release store is
+            // never read on that path (and post-C++20 its release sequence
+            // does not extend through this plain store), so this store
+            // must itself carry the previous critical section's loads.
+            self.slot.word.store(phase | ACTIVE, Ordering::Release);
             // A reader preempted here has published a (possibly stale)
             // phase but not yet ordered its loads — the window the two
             // phase flips exist to cover.
@@ -217,10 +224,11 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
         };
         self.nesting.set(rest);
         if rest == 0 {
-            // The Release store alone orders the section's loads before the
-            // quiescence signal: it pairs with the synchronizer's Acquire
-            // load of this word in the flip wait-loop, so no separate
-            // release fence is needed.
+            // Single Release store, no separate release fence: it pairs
+            // with the synchronizer's Acquire load for the "quiescent
+            // (word 0)" exit of the flip wait-loop. The other exit —
+            // "re-entered at the new phase" — is covered by
+            // `raw_read_lock`'s Release store on the re-entry word.
             self.slot.word.store(0, Ordering::Release);
         }
     }
@@ -442,6 +450,51 @@ mod tests {
         h.raw_read_unlock();
     }
 
+    /// The "re-entered at the new phase" quiescence exit: a synchronizer
+    /// blocked on a reader must also be released when the reader exits and
+    /// re-enters with the freshly flipped phase, not only when it observes
+    /// the word quiescent (0). `raw_read_lock`'s Release store is what
+    /// makes that exit carry the first section's ordering. The flavor runs
+    /// two flips, so the reader may need to turn over once per flip.
+    #[test]
+    fn synchronize_returns_when_blocking_reader_reenters() {
+        let rcu = GlobalLockRcu::with_sharing(false);
+        // The watchdog is the "synchronizer is blocked on us" signal.
+        rcu.set_stall_timeout(Some(Duration::from_millis(1)));
+        let h = rcu.register();
+        h.raw_read_lock();
+        let sync_done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let hs = rcu.register();
+                hs.synchronize();
+                sync_done.store(true, Ordering::SeqCst);
+            });
+            // One stall event per flip the synchronizer blocks in; after
+            // each, turn the section over so the word picks up the current
+            // phase. The second flip can race our first re-entry (if the
+            // re-entry already read the post-flip-2 phase there is no
+            // second stall), hence the `sync_done` escape.
+            let backoff = Backoff::new();
+            for events in 1..=2u64 {
+                while rcu.stall_events() < events && !sync_done.load(Ordering::SeqCst) {
+                    backoff.snooze();
+                }
+                if sync_done.load(Ordering::SeqCst) {
+                    break;
+                }
+                h.raw_read_unlock();
+                h.raw_read_lock();
+            }
+            while !sync_done.load(Ordering::SeqCst) {
+                backoff.snooze();
+            }
+            assert!(h.in_read_section());
+            h.raw_read_unlock();
+        });
+        assert_eq!(rcu.grace_periods(), 1);
+    }
+
     /// Queued-waiter sharing: while synchronizer A is blocked mid-grace-
     /// period on a parked reader, B and C queue behind the lock (snapshots
     /// taken after A's first flip). Once the reader leaves, whichever of
@@ -450,6 +503,28 @@ mod tests {
     /// snapshot — and piggybacks.
     #[test]
     fn queued_synchronizers_piggyback() {
+        // The scenario's key ordering — B and C snapshot the phase before
+        // A's grace period completes — is enforced only by the sleep after
+        // `queued` reaches 2 (the increment precedes the snapshot inside
+        // `synchronize`, which is not observable from outside). Under
+        // pathological scheduling both snapshots can land after A's grace
+        // period, so no one piggybacks; retry a few times before calling
+        // that a failure.
+        for attempt in 0.. {
+            let piggybacks = queued_piggyback_scenario();
+            if piggybacks >= 1 {
+                return;
+            }
+            assert!(
+                attempt < 5,
+                "no queued waiter piggybacked in any of 5 attempts"
+            );
+        }
+    }
+
+    /// One run of the three-synchronizer scenario above, on a fresh
+    /// domain; returns the piggyback count.
+    fn queued_piggyback_scenario() -> u64 {
         let rcu = GlobalLockRcu::with_sharing(true);
         assert!(rcu.sharing());
         let reader_in = AtomicBool::new(false);
@@ -502,13 +577,10 @@ mod tests {
             std::thread::sleep(Duration::from_millis(100));
             release_reader.store(true, Ordering::SeqCst);
         });
-        // All three callers were satisfied; at least one rode a peer's
-        // grace period rather than flipping its own.
-        assert!(
-            rcu.synchronize_piggybacks() >= 1,
-            "second queued waiter should have piggybacked"
-        );
+        // All three callers were satisfied, each either by its own grace
+        // period or by riding a peer's.
         assert_eq!(rcu.grace_periods() + rcu.synchronize_piggybacks(), 3);
+        rcu.synchronize_piggybacks()
     }
 
     /// With sharing off, queued waiters always flip for themselves.

@@ -201,9 +201,16 @@ impl RcuHandle for ScalableRcuHandle<'_> {
         if n == 0 {
             let word = &self.slot.word;
             // Only this thread stores to its own word, so the update need
-            // not be an RMW.
+            // not be an RMW. The store must be Release: a synchronizer's
+            // wait loop also exits when the word merely *changes*, i.e.
+            // when it reads this store after we exited a section and
+            // re-entered. In that case the previous unlock's release store
+            // is never read (and post-C++20 its release sequence does not
+            // extend through this plain store), so this store is the only
+            // thing that can order the previous critical section's loads
+            // before the synchronizer's return.
             let w = word.load(Ordering::Relaxed);
-            word.store(w.wrapping_add(COUNT_ONE) | FLAG, Ordering::Relaxed);
+            word.store(w.wrapping_add(COUNT_ONE) | FLAG, Ordering::Release);
             // The store/fence window: a reader preempted here has
             // published its flag but not yet ordered its loads.
             chaos::point("rcu-scalable/read-lock/between-store-and-fence");
@@ -230,13 +237,13 @@ impl RcuHandle for ScalableRcuHandle<'_> {
         if rest == 0 {
             let word = &self.slot.word;
             let w = word.load(Ordering::Relaxed);
-            // The Release store alone orders the critical section's loads
-            // before the flag clear: it pairs with the synchronizer's
-            // Acquire load of this word, so a synchronizer that observes
-            // the cleared flag (or a changed counter) knows our reads of
-            // the protected data completed. No separate release fence is
-            // needed — a fence would only add ordering for *other*
-            // atomics, and the word is the sole quiescence signal.
+            // Single Release store, no separate release fence: this store
+            // pairs with the synchronizer's Acquire load for the
+            // "flag observed clear" exit of its wait loop. The other exit
+            // — "counter changed" after we re-enter — is covered by
+            // `raw_read_lock`'s Release store on the re-entry word, so
+            // between the two stores every quiescence observation carries
+            // this critical section's loads.
             word.store(w & !FLAG, Ordering::Release);
         }
     }
@@ -588,6 +595,50 @@ mod tests {
             );
             release_reader.store(true, Ordering::SeqCst);
         });
+    }
+
+    /// The "counter changed" quiescence exit: a synchronizer blocked on a
+    /// reader must return when the reader exits and *re-enters* (word
+    /// changes but the flag never settles clear), not only when it
+    /// observes the flag clear. `raw_read_lock`'s Release store is what
+    /// makes that exit carry the first section's ordering — the re-entry
+    /// store, not the unlock store, may be the value the synchronizer
+    /// reads. (A loom/Miri model of this path would be stronger, but the
+    /// workspace has no loom dependency and the wait loops spin.)
+    #[test]
+    fn synchronize_returns_when_blocking_reader_reenters() {
+        use std::sync::atomic::AtomicBool;
+        let rcu = ScalableRcu::with_sharing(false);
+        // The watchdog is the "synchronizer is blocked on us" signal.
+        rcu.set_stall_timeout(Some(Duration::from_millis(1)));
+        let h = rcu.register();
+        h.raw_read_lock();
+        let sync_done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let hs = rcu.register();
+                hs.synchronize();
+                sync_done.store(true, Ordering::SeqCst);
+            });
+            // A stall event proves the synchronizer snapshotted our first
+            // section and is waiting for the word to change.
+            let backoff = Backoff::new();
+            while rcu.stall_events() == 0 {
+                backoff.snooze();
+            }
+            assert!(!sync_done.load(Ordering::SeqCst));
+            // Exit and immediately re-enter: the counter bumps, so the
+            // synchronizer may exit on either the transient clear flag or
+            // the changed counter — both must release it.
+            h.raw_read_unlock();
+            h.raw_read_lock();
+            while !sync_done.load(Ordering::SeqCst) {
+                backoff.snooze();
+            }
+            assert!(h.in_read_section());
+            h.raw_read_unlock();
+        });
+        assert_eq!(rcu.grace_periods(), 1);
     }
 
     /// An *odd* snapshot must not piggyback on the in-progress scan it
