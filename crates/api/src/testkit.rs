@@ -141,6 +141,66 @@ pub fn check_sequential_model<M: ConcurrentMap<u64, u64>>(
     }
 }
 
+/// Runs the same random operation stream against two maps and compares
+/// every return value operation-for-operation — the subject must be
+/// observationally indistinguishable from the oracle (e.g. a sharded
+/// forest against a single tree).
+///
+/// # Panics
+///
+/// Panics on the first divergence between subject and oracle.
+pub fn check_map_agreement<S, O>(subject: &S, oracle: &O, ops: usize, key_range: u64, seed: u64)
+where
+    S: ConcurrentMap<u64, u64>,
+    O: ConcurrentMap<u64, u64>,
+{
+    let mut rng = SplitMix64::new(seed);
+    let mut subj = subject.session();
+    let mut orac = oracle.session();
+    for i in 0..ops {
+        let key = rng.below(key_range);
+        match rng.below(4) {
+            0 => {
+                let value = rng.next_u64();
+                assert_eq!(
+                    subj.insert(key, value),
+                    orac.insert(key, value),
+                    "op {i}: insert({key}) disagreed with oracle (seed {seed})"
+                );
+            }
+            1 => {
+                assert_eq!(
+                    subj.remove(&key),
+                    orac.remove(&key),
+                    "op {i}: remove({key}) disagreed with oracle (seed {seed})"
+                );
+            }
+            2 => {
+                assert_eq!(
+                    subj.contains(&key),
+                    orac.contains(&key),
+                    "op {i}: contains({key}) disagreed with oracle (seed {seed})"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    subj.get(&key),
+                    orac.get(&key),
+                    "op {i}: get({key}) disagreed with oracle (seed {seed})"
+                );
+            }
+        }
+    }
+    // Final sweep: both maps hold exactly the same contents.
+    for k in 0..key_range {
+        assert_eq!(
+            subj.get(&k),
+            orac.get(&k),
+            "final sweep disagreed at key {k} (seed {seed})"
+        );
+    }
+}
+
 /// Checks the paper's immutable-value semantics: inserting an existing key
 /// returns `false` and does not overwrite.
 ///

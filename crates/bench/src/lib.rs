@@ -146,17 +146,48 @@ pub fn synchronize_storm<F: RcuFlavor>(
     }
 }
 
+/// Parses a `--shards` value (comma-separated counts) into the config,
+/// aborting with a usage message when empty or malformed.
+fn apply_shards(cfg: &mut BenchConfig, value: &str) {
+    let shards: Vec<usize> = value
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    if shards.is_empty() {
+        eprintln!("invalid --shards value `{value}` (expected e.g. `4` or `1,2,4,8`)");
+        std::process::exit(2);
+    }
+    cfg.shards = shards;
+}
+
 /// Reads the environment configuration and applies CLI flags: `--metrics`
-/// turns on internal-metric collection (same as `CITRUS_METRICS=1`).
-/// Unknown arguments abort with a usage message.
+/// turns on internal-metric collection (same as `CITRUS_METRICS=1`), and
+/// `--shards N[,M,...]` (or `--shards=N[,M,...]`) overrides the forest
+/// shard sweep (same as `CITRUS_SHARDS`). Unknown arguments abort with a
+/// usage message.
 pub fn config_from_env_and_args() -> BenchConfig {
     let mut cfg = BenchConfig::from_env();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics" => cfg.collect_metrics = true,
+            "--shards" => match args.next() {
+                Some(value) => apply_shards(&mut cfg, &value),
+                None => {
+                    eprintln!("--shards requires a value (e.g. `--shards 4`)");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown argument `{other}` (supported: --metrics)");
-                std::process::exit(2);
+                if let Some(value) = other.strip_prefix("--shards=") {
+                    apply_shards(&mut cfg, value);
+                } else {
+                    eprintln!(
+                        "unknown argument `{other}` (supported: --metrics, --shards N[,M,...])"
+                    );
+                    std::process::exit(2);
+                }
             }
         }
     }

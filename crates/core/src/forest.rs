@@ -1,0 +1,645 @@
+//! `CitrusForest`: key-sharded Citrus trees with per-shard RCU and
+//! reclamation domains.
+//!
+//! The paper's two-child `delete` calls `synchronize_rcu` while holding
+//! node locks, so every updater of a single tree ultimately queues behind
+//! one grace-period domain. Grace-period *sharing* (PR 3) amortizes that
+//! wait but cannot remove the serialization: a reader of key `1` still
+//! delays a deleter of key `10⁶` because both live in one RCU domain.
+//!
+//! A forest partitions the key space over a fixed power-of-two array of
+//! independent [`CitrusTree`] shards. Each shard owns a **private** RCU
+//! flavor instance and (in [`ReclaimMode::Epoch`]) a **private**
+//! epoch-reclamation domain, so `synchronize_rcu` and epoch advancement in
+//! one shard never wait on readers or updaters of another. This is the
+//! same partition-to-scale move as Linux Tree RCU's per-CPU hierarchy,
+//! applied at the data-structure level.
+//!
+//! # Routing
+//!
+//! A key is routed by a *seeded multiplicative hash*: the key's standard
+//! [`Hash`] digest is XORed with the forest's sharding seed, multiplied by
+//! the 64-bit golden-ratio constant, and the product's high bits select
+//! the shard (a multiply-shift, which for power-of-two shard counts equals
+//! taking the top `log2(n)` bits — no shift-by-64 edge case at `n = 1`).
+//! Routing is a pure function of `(key, seed, shard_count)`: the same seed
+//! always yields the same routing, and `get`/`contains` stay wait-free —
+//! one shard lookup, then one RCU read-side section in that shard alone.
+//!
+//! # What stays per-shard vs. global
+//!
+//! Per-shard: BST invariants, per-node locks, grace periods, epochs,
+//! retired-node lifetimes, metric components. Global: nothing but the
+//! routing function — which is why aggregate views ([`len_quiescent`],
+//! [`to_vec_quiescent`]) are only *quiescent* operations, same as on a
+//! single tree.
+//!
+//! [`len_quiescent`]: CitrusForest::len_quiescent
+//! [`to_vec_quiescent`]: CitrusForest::to_vec_quiescent
+
+use crate::checks::{InvariantViolation, TreeStats};
+use crate::tree::{CitrusSession, CitrusTree, ReclaimMode};
+use citrus_api::{ConcurrentMap, MapSession};
+use citrus_chaos as chaos;
+use citrus_obs::{Counter, Log2Histogram, MetricsRegistry};
+use citrus_rcu::{RcuFlavor, ScalableRcu};
+use core::fmt;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::hash::{Hash, Hasher};
+
+/// Default shard count for [`CitrusForest::new`].
+const DEFAULT_SHARDS: usize = 8;
+
+/// Stripe count for the forest's routing counters.
+const STRIPES: usize = 32;
+
+/// 64-bit golden-ratio multiplier (`⌊2⁶⁴/φ⌋`, odd), the standard
+/// Fibonacci-hashing constant; spreads the seeded digest across the high
+/// bits the multiply-shift router reads.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Routing metrics for a [`CitrusForest`]: how many operations each shard
+/// received, and a [`Log2Histogram`] of per-shard occupancy to expose
+/// routing skew. No-ops unless built with the `stats` feature.
+#[derive(Debug)]
+pub struct ForestMetrics {
+    /// One routed-operations counter per shard.
+    routed: Box<[Counter]>,
+    /// Per-shard key counts observed by
+    /// [`CitrusForest::record_occupancy`].
+    shard_occupancy: Log2Histogram,
+    /// Round-robin stripe allocator for sessions.
+    next_stripe: AtomicUsize,
+}
+
+impl ForestMetrics {
+    fn new(shards: usize) -> Self {
+        Self {
+            routed: (0..shards).map(|_| Counter::new(STRIPES)).collect(),
+            shard_occupancy: Log2Histogram::new(),
+            next_stripe: AtomicUsize::new(0),
+        }
+    }
+
+    /// Assigns the next session its counter stripe.
+    fn assign_stripe(&self) -> usize {
+        self.next_stripe.fetch_add(1, Ordering::Relaxed) % STRIPES
+    }
+
+    /// Records one operation routed to `shard`.
+    #[inline]
+    fn record_route(&self, shard: usize, stripe: usize) {
+        self.routed[shard].incr(stripe);
+    }
+
+    /// Operations routed to `shard` so far (`0` with stats off).
+    #[must_use]
+    pub fn routed_to(&self, shard: usize) -> u64 {
+        self.routed[shard].get()
+    }
+
+    /// The per-shard occupancy histogram.
+    #[must_use]
+    pub fn shard_occupancy(&self) -> &Log2Histogram {
+        &self.shard_occupancy
+    }
+
+    /// Registers the forest-level instruments under `component`.
+    fn register_into(&self, registry: &MetricsRegistry, component: &str) {
+        for (i, counter) in self.routed.iter().enumerate() {
+            registry.register_counter(component, &format!("routed_shard{i}"), counter);
+        }
+        registry.register_histogram(component, "shard_occupancy", &self.shard_occupancy);
+    }
+}
+
+/// A fixed array of independent [`CitrusTree`] shards routed by a seeded
+/// multiplicative key hash.
+///
+/// Each shard owns a private RCU domain and a private reclamation domain;
+/// see the [module docs](self) for why. Threads operate through
+/// per-thread [`ForestSession`]s, which create per-shard tree sessions
+/// lazily on first touch.
+///
+/// # Example
+///
+/// ```
+/// use citrus::CitrusForest;
+///
+/// let forest: CitrusForest<u64, &str> = CitrusForest::with_shards(4);
+/// let mut session = forest.session();
+/// assert!(session.insert(1, "one"));
+/// assert_eq!(session.get(&1), Some("one"));
+/// assert!(session.remove(&1));
+/// assert_eq!(session.get(&1), None);
+/// ```
+pub struct CitrusForest<K, V, F: RcuFlavor = ScalableRcu> {
+    /// The shard trees; `len()` is always a power of two.
+    shards: Box<[CitrusTree<K, V, F>]>,
+    /// Sharding seed; XORed into the key digest before the multiply.
+    seed: u64,
+    metrics: ForestMetrics,
+}
+
+impl<K, V, F: RcuFlavor> CitrusForest<K, V, F> {
+    /// Creates a forest with the default shard count (8) and
+    /// [`ReclaimMode::Epoch`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates a forest with (at least) `n` shards and the default
+    /// reclamation mode. `n` is rounded **up** to the next power of two
+    /// (minimum 1) so the multiply-shift router stays bias-free.
+    #[must_use]
+    pub fn with_shards(n: usize) -> Self {
+        Self::with_config(n, 0, ReclaimMode::default())
+    }
+
+    /// Like [`with_shards`](Self::with_shards) but with an explicit
+    /// sharding seed, for de-correlating routing from adversarial key
+    /// patterns (and for the routing-determinism tests).
+    #[must_use]
+    pub fn with_sharding_seed(n: usize, seed: u64) -> Self {
+        Self::with_config(n, seed, ReclaimMode::default())
+    }
+
+    /// Fully explicit constructor: shard count (rounded up to a power of
+    /// two), sharding seed, and reclamation mode for every shard.
+    #[must_use]
+    pub fn with_config(n: usize, seed: u64, mode: ReclaimMode) -> Self {
+        let n = n.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| CitrusTree::with_reclaim(mode)).collect(),
+            seed,
+            metrics: ForestMetrics::new(n),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The sharding seed.
+    #[must_use]
+    pub fn sharding_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Borrows shard `i` (diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    #[must_use]
+    pub fn shard(&self, i: usize) -> &CitrusTree<K, V, F> {
+        &self.shards[i]
+    }
+
+    /// The forest-level routing metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &ForestMetrics {
+        &self.metrics
+    }
+
+    /// The shards' reclamation mode (identical across shards).
+    #[must_use]
+    pub fn reclaim_mode(&self) -> ReclaimMode {
+        self.shards[0].reclaim_mode()
+    }
+
+    /// Total removed nodes already freed across all shards:
+    /// `Some(sum)` in [`ReclaimMode::Epoch`], `None` in
+    /// [`ReclaimMode::Leak`].
+    #[must_use]
+    pub fn reclaimed_count(&self) -> Option<u64> {
+        self.shards.iter().map(CitrusTree::reclaimed_count).sum()
+    }
+
+    /// `synchronize_rcu` calls issued by each shard (tree metrics; all
+    /// zeros with stats off). Grace periods in one shard never wait on
+    /// another — these counters plus
+    /// [`grace_periods_per_shard`](Self::grace_periods_per_shard) make
+    /// that independence observable.
+    #[must_use]
+    pub fn synchronize_calls_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|t| t.metrics().synchronize_calls())
+            .collect()
+    }
+
+    /// Grace periods completed by each shard's private RCU domain
+    /// (always-on, independent of the `stats` feature).
+    #[must_use]
+    pub fn grace_periods_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|t| t.rcu().grace_periods())
+            .collect()
+    }
+
+    /// Registers every shard's full instrument stack plus the forest's
+    /// routing metrics into `registry`. Shard `i`'s components are
+    /// prefixed `shard{i}/` (e.g. `shard0/citrus`, `shard0/rcu-scalable`),
+    /// the forest's own live under `forest`.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        self.register_metrics_prefixed(registry, "");
+    }
+
+    /// Like [`register_metrics`](Self::register_metrics) with every
+    /// component name additionally prefixed.
+    pub fn register_metrics_prefixed(&self, registry: &MetricsRegistry, prefix: &str) {
+        for (i, tree) in self.shards.iter().enumerate() {
+            tree.register_metrics_prefixed(registry, &format!("{prefix}shard{i}/"));
+        }
+        self.metrics
+            .register_into(registry, &format!("{prefix}forest"));
+    }
+
+    /// Creates a session for the calling thread. Per-shard tree sessions
+    /// are created lazily on first touch, so a thread that only ever
+    /// operates on a few shards never registers with the other shards'
+    /// RCU/reclamation domains.
+    pub fn session(&self) -> ForestSession<'_, K, V, F> {
+        ForestSession {
+            forest: self,
+            sessions: (0..self.shards.len()).map(|_| None).collect(),
+            stripe: self.metrics.assign_stripe(),
+        }
+    }
+}
+
+impl<K: Hash, V, F: RcuFlavor> CitrusForest<K, V, F> {
+    /// Routes `key` to its shard index: seeded digest → golden-ratio
+    /// multiply → multiply-shift by the shard count. Pure in
+    /// `(key, seed, shard_count)`.
+    #[must_use]
+    pub fn shard_for(&self, key: &K) -> usize {
+        let mut hasher = std::hash::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let mixed = (hasher.finish() ^ self.seed).wrapping_mul(GOLDEN_GAMMA);
+        // Lemire multiply-shift: maps the 64-bit mix uniformly onto
+        // [0, n). For power-of-two n this is exactly the top log2(n) bits,
+        // with no undefined shift at n = 1.
+        ((u128::from(mixed) * self.shards.len() as u128) >> 64) as usize
+    }
+}
+
+impl<K, V, F: RcuFlavor> CitrusForest<K, V, F>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    /// Total key count across shards. Quiescent-only, like
+    /// [`CitrusTree::len_quiescent`].
+    pub fn len_quiescent(&mut self) -> usize {
+        self.shards.iter_mut().map(CitrusTree::len_quiescent).sum()
+    }
+
+    /// Whether every shard is empty. Quiescent-only.
+    pub fn is_empty_quiescent(&mut self) -> bool {
+        self.shards.iter_mut().all(CitrusTree::is_empty_quiescent)
+    }
+
+    /// All key–value pairs across shards in ascending key order.
+    /// Quiescent-only.
+    pub fn to_vec_quiescent(&mut self) -> Vec<(K, V)> {
+        let mut all: Vec<(K, V)> = self
+            .shards
+            .iter_mut()
+            .flat_map(CitrusTree::to_vec_quiescent)
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Validates every shard's structural invariants, returning aggregate
+    /// stats (total length, maximum shard height) or the first violation.
+    /// Quiescent-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] found in any shard.
+    pub fn validate_structure(&mut self) -> Result<TreeStats, InvariantViolation> {
+        let mut len = 0;
+        let mut height = 0;
+        for shard in self.shards.iter_mut() {
+            let stats = shard.validate_structure()?;
+            len += stats.len;
+            height = height.max(stats.height);
+        }
+        Ok(TreeStats { len, height })
+    }
+
+    /// Samples each shard's current key count into the `shard_occupancy`
+    /// histogram and returns the counts (skew diagnostics).
+    /// Quiescent-only.
+    pub fn record_occupancy(&mut self) -> Vec<usize> {
+        // Split the borrow: occupancy lives next to the shards.
+        let metrics = &self.metrics;
+        self.shards
+            .iter_mut()
+            .map(|shard| {
+                let len = shard.len_quiescent();
+                metrics.shard_occupancy.record(len as u64);
+                len
+            })
+            .collect()
+    }
+}
+
+impl<K, V, F: RcuFlavor> Default for CitrusForest<K, V, F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, F: RcuFlavor> fmt::Debug for CitrusForest<K, V, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CitrusForest")
+            .field("shards", &self.shards.len())
+            .field("seed", &self.seed)
+            .field("rcu", &F::NAME)
+            .field("reclaim", &self.reclaim_mode())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V, F> ConcurrentMap<K, V> for CitrusForest<K, V, F>
+where
+    K: Ord + Hash + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    F: RcuFlavor,
+{
+    type Session<'a>
+        = ForestSession<'a, K, V, F>
+    where
+        Self: 'a;
+
+    const NAME: &'static str = "citrus-forest";
+
+    fn session(&self) -> ForestSession<'_, K, V, F> {
+        CitrusForest::session(self)
+    }
+}
+
+/// A per-thread handle to a [`CitrusForest`].
+///
+/// Holds lazily-created per-shard [`CitrusSession`]s: a shard's session —
+/// and with it the thread's reader slot in that shard's private RCU domain
+/// and its slot in the shard's reclamation domain — is only created the
+/// first time an operation routes there. Not `Send`.
+pub struct ForestSession<'t, K, V, F: RcuFlavor> {
+    forest: &'t CitrusForest<K, V, F>,
+    sessions: Vec<Option<CitrusSession<'t, K, V, F>>>,
+    /// This session's forest-metric counter stripe.
+    stripe: usize,
+}
+
+impl<'t, K, V, F> ForestSession<'t, K, V, F>
+where
+    K: Ord + Hash + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    F: RcuFlavor,
+{
+    /// Routes `key` and returns the shard's session, creating it on first
+    /// touch.
+    fn session_for(&mut self, key: &K) -> &mut CitrusSession<'t, K, V, F> {
+        chaos::point("forest/route/before-shard");
+        let idx = self.forest.shard_for(key);
+        self.forest.metrics.record_route(idx, self.stripe);
+        let slot = &mut self.sessions[idx];
+        if slot.is_none() {
+            chaos::point("forest/session/lazy-init");
+            *slot = Some(self.forest.shards[idx].session());
+        }
+        slot.as_mut().expect("slot populated above")
+    }
+
+    /// Returns the value associated with `key`, if present. Wait-free:
+    /// one shard lookup, one RCU read-side section in that shard.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.session_for(key).get(key)
+    }
+
+    /// Returns `true` iff `key` is present. Wait-free, like
+    /// [`get`](Self::get).
+    pub fn contains(&mut self, key: &K) -> bool {
+        self.session_for(key).contains(key)
+    }
+
+    /// Inserts `(key, value)` into the key's shard; returns `true` iff
+    /// the key was absent.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.session_for(&key).insert(key, value)
+    }
+
+    /// Removes `key` from its shard; returns `true` iff it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.session_for(key).remove(key)
+    }
+
+    /// How many shard sessions this session has actually created.
+    #[must_use]
+    pub fn live_shard_sessions(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl<K, V, F: RcuFlavor> fmt::Debug for ForestSession<'_, K, V, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ForestSession")
+            .field("shards", &self.sessions.len())
+            .field(
+                "live",
+                &self.sessions.iter().filter(|s| s.is_some()).count(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V, F> MapSession<K, V> for ForestSession<'_, K, V, F>
+where
+    K: Ord + Hash + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    F: RcuFlavor,
+{
+    fn get(&mut self, key: &K) -> Option<V> {
+        ForestSession::get(self, key)
+    }
+
+    fn insert(&mut self, key: K, value: V) -> bool {
+        ForestSession::insert(self, key, value)
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        ForestSession::remove(self, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citrus_rcu::GlobalLockRcu;
+
+    type Forest = CitrusForest<u64, u64>;
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        for (requested, expect) in [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16)] {
+            let f = Forest::with_shards(requested);
+            assert_eq!(f.shard_count(), expect, "requested {requested}");
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let a = Forest::with_sharding_seed(8, 0xDEAD);
+        let b = Forest::with_sharding_seed(8, 0xDEAD);
+        let c = Forest::with_sharding_seed(8, 0xBEEF);
+        let mut differs = false;
+        for key in 0u64..4096 {
+            let s = a.shard_for(&key);
+            assert!(s < 8);
+            assert_eq!(s, b.shard_for(&key), "same seed must route identically");
+            differs |= s != c.shard_for(&key);
+        }
+        assert!(differs, "different seeds should shuffle at least one key");
+    }
+
+    #[test]
+    fn single_shard_forest_routes_everything_to_zero() {
+        let f = Forest::with_shards(1);
+        for key in 0u64..256 {
+            assert_eq!(f.shard_for(&key), 0);
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_aggregates() {
+        let mut f = Forest::with_shards(4);
+        {
+            let mut s = f.session();
+            for k in 0..100u64 {
+                assert!(s.insert(k, k * 10));
+                assert!(!s.insert(k, 0), "duplicate insert must fail");
+            }
+            for k in 0..100u64 {
+                assert_eq!(s.get(&k), Some(k * 10));
+                assert!(s.contains(&k));
+            }
+            for k in (0..100u64).step_by(2) {
+                assert!(s.remove(&k));
+                assert!(!s.remove(&k));
+            }
+        }
+        assert_eq!(f.len_quiescent(), 50);
+        assert!(!f.is_empty_quiescent());
+        let v = f.to_vec_quiescent();
+        assert_eq!(v.len(), 50);
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+        let stats = f.validate_structure().unwrap();
+        assert_eq!(stats.len, 50);
+    }
+
+    #[test]
+    fn inserted_keys_land_in_their_routed_shard() {
+        let mut f = Forest::with_shards(8);
+        let keys: Vec<u64> = (0..200).collect();
+        {
+            let mut s = f.session();
+            for &k in &keys {
+                s.insert(k, k);
+            }
+        }
+        for &k in &keys {
+            let idx = f.shard_for(&k);
+            for i in 0..f.shard_count() {
+                let present = f.shards[i]
+                    .to_vec_quiescent()
+                    .iter()
+                    .any(|(kk, _)| *kk == k);
+                assert_eq!(present, i == idx, "key {k} in shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_are_lazy() {
+        let f = Forest::with_shards(8);
+        let mut s = f.session();
+        assert_eq!(s.live_shard_sessions(), 0);
+        s.insert(7, 7);
+        assert_eq!(s.live_shard_sessions(), 1);
+        s.get(&7);
+        assert_eq!(s.live_shard_sessions(), 1, "reuse, don't re-create");
+    }
+
+    #[test]
+    fn per_shard_grace_periods_are_independent() {
+        let f = Forest::with_shards(4);
+        let before = f.grace_periods_per_shard();
+        // Force a grace period in exactly one shard via its own domain.
+        let target = f.shard_for(&42u64);
+        {
+            let handle = f.shard(target).rcu().register();
+            citrus_rcu::RcuHandle::synchronize(&handle);
+        }
+        let after = f.grace_periods_per_shard();
+        assert!(after[target] > before[target]);
+        for i in 0..4 {
+            if i != target {
+                assert_eq!(after[i], before[i], "shard {i} must not advance");
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_global_lock_flavor() {
+        let forest: CitrusForest<u64, u64, GlobalLockRcu> = CitrusForest::with_shards(2);
+        let mut s = forest.session();
+        assert!(s.insert(1, 1));
+        assert!(s.remove(&1));
+    }
+
+    #[test]
+    fn leak_mode_reports_no_reclaimed_count() {
+        let f: Forest = CitrusForest::with_config(2, 0, ReclaimMode::Leak);
+        assert_eq!(f.reclaimed_count(), None);
+        let f: Forest = CitrusForest::with_config(2, 0, ReclaimMode::Epoch);
+        assert_eq!(f.reclaimed_count(), Some(0));
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn metrics_roll_up_with_shard_labels() {
+        let mut f = Forest::with_shards(2);
+        let registry = MetricsRegistry::new();
+        f.register_metrics(&registry);
+        {
+            let mut s = f.session();
+            for k in 0..64u64 {
+                s.insert(k, k);
+            }
+        }
+        f.record_occupancy();
+        let snap = registry.snapshot();
+        let locks: u64 = (0..2)
+            .map(|i| {
+                snap.counter(&format!("shard{i}/citrus"), "lock_acquisitions")
+                    .unwrap()
+            })
+            .sum();
+        assert!(locks >= 64, "every insert locks at least one node");
+        let routed: u64 = (0..2)
+            .map(|i| snap.counter("forest", &format!("routed_shard{i}")).unwrap())
+            .sum();
+        assert_eq!(routed, 64);
+        let occupancy = snap.histogram("forest", "shard_occupancy").unwrap();
+        assert_eq!(occupancy.count, 2, "one occupancy sample per shard");
+    }
+}

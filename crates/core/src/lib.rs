@@ -68,12 +68,14 @@
 #![warn(missing_debug_implementations)]
 
 mod checks;
+mod forest;
 mod metrics;
 mod node;
 mod tree;
 
 pub use checks::{InvariantViolation, TreeStats};
 pub use citrus_rcu::{GlobalLockRcu, RcuFlavor, ScalableRcu};
+pub use forest::{CitrusForest, ForestMetrics, ForestSession};
 pub use metrics::TreeMetrics;
 pub use tree::{CitrusSession, CitrusTree, ReclaimMode, SessionStats};
 

@@ -89,22 +89,33 @@ impl Dir {
 }
 
 /// One Citrus tree node.
+///
+/// # Layout
+///
+/// `repr(C, align(64))` pins the *hot head* — lock, mark, child pointers,
+/// tags: every word the search loop and `validate` touch — to the first
+/// 64-byte cache line of the node, with the (immutable, possibly large)
+/// key and value behind it. The RCU reader words in `citrus-sync` are
+/// already cache-padded; without this, two unrelated nodes could share a
+/// line and a delete's lock traffic would invalidate a neighbor node's
+/// child pointers under concurrent searches.
+#[repr(C, align(64))]
 pub(crate) struct Node<K, V> {
-    /// The key; **never changes** after construction (paper §2).
-    pub(crate) key: KeyBound<K>,
-    /// The value; `None` only in the two sentinels. Never changes.
-    pub(crate) value: Option<V>,
+    /// The node's fine-grained updater lock.
+    pub(crate) lock: RawSpinLock,
     /// Set (under `lock`) just before the node is unlinked; `validate`
     /// checks it to detect operating on a deleted node.
     pub(crate) marked: AtomicBool,
-    /// The node's fine-grained updater lock.
-    pub(crate) lock: RawSpinLock,
     /// Child pointers (`child[0]` = left, `child[1]` = right).
     pub(crate) child: [AtomicPtr<Node<K, V>>; 2],
     /// Per-child tags, incremented when the corresponding child is set to
     /// null (`incrementTag`), so `insert`'s "child still null" validation
     /// cannot suffer ABA.
     pub(crate) tag: [AtomicU64; 2],
+    /// The key; **never changes** after construction (paper §2).
+    pub(crate) key: KeyBound<K>,
+    /// The value; `None` only in the two sentinels. Never changes.
+    pub(crate) value: Option<V>,
 }
 
 impl<K, V> Node<K, V> {
@@ -256,6 +267,21 @@ mod tests {
             drop(Box::from_raw(leaf));
             drop(Box::from_raw(n));
         }
+    }
+
+    #[test]
+    fn hot_head_is_cache_line_aligned() {
+        use core::mem::{align_of, offset_of};
+        // The node itself starts on a cache-line boundary...
+        assert!(align_of::<Node<u64, u64>>() >= 64);
+        // ...and the whole hot word group (lock, mark, children, tags)
+        // fits inside the first 64 bytes, ahead of key and value.
+        let hot_end = offset_of!(Node<u64, u64>, tag) + 2 * core::mem::size_of::<AtomicU64>();
+        assert!(
+            hot_end <= 64,
+            "hot head spills past the first cache line (ends at {hot_end})"
+        );
+        assert!(offset_of!(Node<u64, u64>, key) >= offset_of!(Node<u64, u64>, tag));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::time::Duration;
 /// | `CITRUS_THREADS` | comma-separated thread counts | `1,2,4,8` | `1,4,16,64` |
 /// | `CITRUS_RANGE_SMALL` | small key range | 20000 | 200000 |
 /// | `CITRUS_RANGE_LARGE` | large key range | 200000 | 2000000 |
+/// | `CITRUS_SHARDS` | comma-separated forest shard counts | `1,2,4,8` | — |
 /// | `CITRUS_METRICS` | attach internal-metrics sections to reports | unset | — |
 ///
 /// Metric collection also requires the `stats` feature (on by default in
@@ -32,6 +33,9 @@ pub struct BenchConfig {
     pub range_small: u64,
     /// The paper's `[0, 2·10⁶]` range (possibly scaled down).
     pub range_large: u64,
+    /// Forest shard counts to sweep (`CitrusForest`); each is rounded up
+    /// to a power of two by the forest constructor.
+    pub shards: Vec<usize>,
     /// Collect internal metrics (RCU, reclamation, tree counters) during
     /// the highest-thread-count point of each figure panel.
     pub collect_metrics: bool,
@@ -69,6 +73,19 @@ impl BenchConfig {
             },
             range_small: env_u64("CITRUS_RANGE_SMALL", d_small),
             range_large: env_u64("CITRUS_RANGE_LARGE", d_large),
+            shards: {
+                let raw = std::env::var("CITRUS_SHARDS").unwrap_or_else(|_| "1,2,4,8".to_string());
+                let shards: Vec<usize> = raw
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .filter(|&n| n > 0)
+                    .collect();
+                if shards.is_empty() {
+                    vec![1, 2, 4, 8]
+                } else {
+                    shards
+                }
+            },
             collect_metrics: std::env::var("CITRUS_METRICS")
                 .is_ok_and(|v| v != "0" && !v.is_empty()),
         }
@@ -82,6 +99,7 @@ impl BenchConfig {
             threads: vec![1, 2],
             range_small: 512,
             range_large: 2_048,
+            shards: vec![1, 2],
             collect_metrics: false,
         }
     }

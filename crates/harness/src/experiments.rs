@@ -11,8 +11,9 @@
 
 use crate::config::BenchConfig;
 use crate::report::Report;
-use crate::runner::run_algo_observed;
+use crate::runner::{run_algo_observed, run_forest_observed, ForestRun};
 use crate::workload::{Algo, OpMix, WorkloadSpec};
+use citrus::{GlobalLockRcu, RcuFlavor, ReclaimMode, ScalableRcu};
 use citrus_obs::MetricsRegistry;
 
 /// Builds the per-point observer: metrics are collected only at the
@@ -64,8 +65,103 @@ pub fn fig8(cfg: &BenchConfig) -> Report {
             .collect();
         report.push(algo.label(), points);
     }
+    // Third series: the sharded forest over the scalable flavor at the
+    // configured maximum shard count, same workload — shows what breaking
+    // grace-period serialization buys on top of the scalable RCU.
+    let forest_shards = cfg
+        .shards
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .next_power_of_two();
+    let forest_points = cfg
+        .threads
+        .iter()
+        .map(|&t| {
+            let spec = WorkloadSpec::new(cfg.range_small, mix, t, cfg.duration);
+            run_forest_observed::<ScalableRcu>(
+                forest_shards,
+                ReclaimMode::Leak,
+                &spec,
+                cfg.reps,
+                0x816,
+                None,
+            )
+            .ops_per_s
+        })
+        .collect();
+    report.push(
+        format!("Citrus forest ({forest_shards} shards)"),
+        forest_points,
+    );
     report.metrics = registry.map(|r| r.snapshot());
     report
+}
+
+/// One cell of the [`forest_sweep`] grid: one `(flavor, shard count,
+/// operation mix)` combination at the configured maximum thread count.
+#[derive(Debug, Clone)]
+pub struct ForestCell {
+    /// RCU flavor name (`RcuFlavor::NAME`).
+    pub flavor: &'static str,
+    /// Shard count (power of two).
+    pub shards: usize,
+    /// Percentage of `contains` operations (the rest split insert/delete).
+    pub contains_pct: u32,
+    /// Worker thread count.
+    pub threads: usize,
+    /// The timed run's result, including per-shard counters.
+    pub run: ForestRun,
+}
+
+/// The forest shard sweep: `shards ∈ cfg.shards × update ratio
+/// {50%, 100%} × RCU flavor {scalable, global-lock}`, all at the
+/// configured maximum thread count — the experiment behind
+/// `BENCH_forest.json`, quantifying the speedup from per-shard
+/// grace-period domains.
+pub fn forest_sweep(cfg: &BenchConfig) -> Vec<ForestCell> {
+    let threads = cfg.threads.iter().copied().max().unwrap_or(1);
+    let mut cells = Vec::new();
+    for contains_pct in [50u32, 0] {
+        let mix = OpMix::with_contains(contains_pct);
+        for &shards in &cfg.shards {
+            let shards = shards.next_power_of_two();
+            let spec = WorkloadSpec::new(cfg.range_small, mix, threads, cfg.duration);
+            for flavor in [ScalableRcu::NAME, GlobalLockRcu::NAME] {
+                // Leak mode, matching the paper's no-reclamation
+                // methodology (and the fig8 tree series), so the sweep
+                // isolates grace-period effects from reclamation cost.
+                let run = if flavor == ScalableRcu::NAME {
+                    run_forest_observed::<ScalableRcu>(
+                        shards,
+                        ReclaimMode::Leak,
+                        &spec,
+                        cfg.reps,
+                        0xF04E,
+                        None,
+                    )
+                } else {
+                    run_forest_observed::<GlobalLockRcu>(
+                        shards,
+                        ReclaimMode::Leak,
+                        &spec,
+                        cfg.reps,
+                        0xF04E,
+                        None,
+                    )
+                };
+                cells.push(ForestCell {
+                    flavor,
+                    shards,
+                    contains_pct,
+                    threads,
+                    run,
+                });
+            }
+        }
+    }
+    cells
 }
 
 /// Figure 9 — single-writer workload (designed to favor the RCU trees):
@@ -156,8 +252,22 @@ mod tests {
     fn fig8_smoke() {
         let cfg = BenchConfig::smoke();
         let r = fig8(&cfg);
-        assert_eq!(r.series.len(), 2);
+        assert_eq!(r.series.len(), 3, "two tree flavors plus the forest");
         assert!(r.series.iter().all(|s| s.points.iter().all(|&p| p > 0.0)));
+        assert!(r.series[2].label.contains("forest"));
+    }
+
+    #[test]
+    fn forest_sweep_smoke() {
+        let mut cfg = BenchConfig::smoke();
+        cfg.shards = vec![1, 2];
+        let cells = forest_sweep(&cfg);
+        assert_eq!(cells.len(), 8, "2 mixes × 2 shard counts × 2 flavors");
+        for cell in &cells {
+            assert!(cell.run.ops_per_s > 0.0);
+            assert_eq!(cell.run.grace_periods_per_shard.len(), cell.shards);
+            assert_eq!(cell.threads, 2);
+        }
     }
 
     #[test]

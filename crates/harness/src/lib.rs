@@ -28,6 +28,9 @@ pub mod runner;
 pub mod workload;
 
 pub use config::BenchConfig;
+pub use experiments::ForestCell;
 pub use report::{Report, Series};
-pub use runner::{run_algo, run_algo_observed, run_throughput, RunResult};
+pub use runner::{
+    run_algo, run_algo_observed, run_forest_observed, run_throughput, ForestRun, RunResult,
+};
 pub use workload::{Algo, OpMix, WorkloadSpec};

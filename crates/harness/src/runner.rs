@@ -1,7 +1,7 @@
 //! Timed throughput runs (the paper's measurement loop).
 
 use crate::workload::{Algo, OpKind, WorkloadSpec};
-use citrus::{CitrusTree, GlobalLockRcu, ReclaimMode, ScalableRcu};
+use citrus::{CitrusForest, CitrusTree, GlobalLockRcu, RcuFlavor, ReclaimMode, ScalableRcu};
 use citrus_api::testkit::SplitMix64;
 use citrus_api::{ConcurrentMap, MapSession};
 use citrus_baselines::{
@@ -266,6 +266,67 @@ pub fn run_algo_observed(
     sum / reps as f64
 }
 
+/// Result of a [`run_forest_observed`] sweep cell: mean throughput plus
+/// the **last** repetition's per-shard counters — the direct evidence that
+/// `synchronize_rcu` traffic and grace periods stay shard-local.
+#[derive(Debug, Clone)]
+pub struct ForestRun {
+    /// Mean throughput across repetitions (ops per second).
+    pub ops_per_s: f64,
+    /// `synchronize_rcu` calls per shard (tree metrics; zeros with the
+    /// `stats` feature off).
+    pub sync_calls_per_shard: Vec<u64>,
+    /// Grace periods completed by each shard's private RCU domain
+    /// (always-on).
+    pub grace_periods_per_shard: Vec<u64>,
+    /// Final key count per shard (routing-skew diagnostics).
+    pub occupancy: Vec<usize>,
+}
+
+/// Like [`run_algo_observed`] for a [`CitrusForest`] over flavor `F`:
+/// builds a fresh forest with `shards` shards per repetition, runs the
+/// workload, and reports mean throughput plus the last repetition's
+/// per-shard counters. The last repetition registers its metrics into
+/// `observer` (with per-shard component labels) when given.
+pub fn run_forest_observed<F: RcuFlavor>(
+    shards: usize,
+    mode: ReclaimMode,
+    spec: &WorkloadSpec,
+    reps: usize,
+    seed: u64,
+    observer: Option<(&MetricsRegistry, &str)>,
+) -> ForestRun {
+    let reps = reps.max(1);
+    let mut sum = 0.0;
+    let mut last = None;
+    for rep in 0..reps {
+        let rep_seed = seed ^ (rep as u64) << 32;
+        // Fresh structure per repetition, as in the paper. Sharding seed 0
+        // keeps routing identical across flavors and repetitions.
+        let forest: CitrusForest<u64, u64, F> = CitrusForest::with_config(shards, 0, mode);
+        if rep + 1 == reps {
+            if let Some((registry, prefix)) = observer {
+                forest.register_metrics_prefixed(registry, prefix);
+            }
+        }
+        let r = run_throughput(&forest, spec, rep_seed);
+        sum += r.throughput();
+        if rep + 1 == reps {
+            let mut forest = forest;
+            let occupancy = forest.record_occupancy();
+            last = Some(ForestRun {
+                ops_per_s: 0.0,
+                sync_calls_per_shard: forest.synchronize_calls_per_shard(),
+                grace_periods_per_shard: forest.grace_periods_per_shard(),
+                occupancy,
+            });
+        }
+    }
+    let mut run = last.expect("reps >= 1, so the last repetition ran");
+    run.ops_per_s = sum / reps as f64;
+    run
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +448,21 @@ mod tests {
             "the surviving worker's ops must still be counted"
         );
         assert!(format!("{r}").contains("DEGRADED"));
+    }
+
+    #[test]
+    fn forest_run_reports_per_shard_counters() {
+        let spec = WorkloadSpec::new(400, OpMix::with_contains(50), 2, Duration::from_millis(30));
+        let r = run_forest_observed::<ScalableRcu>(4, ReclaimMode::Epoch, &spec, 1, 17, None);
+        assert!(r.ops_per_s > 0.0);
+        assert_eq!(r.sync_calls_per_shard.len(), 4);
+        assert_eq!(r.grace_periods_per_shard.len(), 4);
+        assert_eq!(r.occupancy.len(), 4);
+        assert!(
+            r.occupancy.iter().filter(|&&n| n > 0).count() >= 2,
+            "uniform keys should populate most shards: {:?}",
+            r.occupancy
+        );
     }
 
     #[test]

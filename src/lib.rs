@@ -22,7 +22,10 @@ pub use citrus_sync;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
-    pub use citrus::{CitrusSession, CitrusTree, GlobalLockRcu, ReclaimMode, ScalableRcu};
+    pub use citrus::{
+        CitrusForest, CitrusSession, CitrusTree, ForestSession, GlobalLockRcu, ReclaimMode,
+        ScalableRcu,
+    };
     pub use citrus_api::{ConcurrentMap, MapSession};
     pub use citrus_baselines::{
         BonsaiTree, LazySkipList, LockFreeBst, OptimisticAvlTree, RelativisticRbTree,

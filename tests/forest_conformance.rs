@@ -1,0 +1,126 @@
+//! Forest ↔ tree conformance: a [`CitrusForest`] with any shard count
+//! must be observationally indistinguishable from a single [`CitrusTree`]
+//! oracle, operation for operation, under chaos-schedule perturbation.
+//!
+//! Each sweep runs `CITRUS_CHAOS_SEEDS` (default 3) consecutive seeds;
+//! every seed installs a chaos plan (a no-op without the `chaos` cargo
+//! feature, so this file is green under default features too), builds a
+//! fresh forest and oracle, and drives both through the same random
+//! operation stream via `testkit::check_map_agreement`. Shard counts
+//! cover the boundary cases: 1 (degenerate single-tree forest), 3
+//! (rounds up to 4 — non-power-of-two request), and 8.
+
+use citrus_repro::citrus_api::testkit;
+use citrus_repro::prelude::*;
+
+/// Seed count, mirroring the chaos_regression sweep convention.
+fn seeds_from_env() -> u64 {
+    std::env::var("CITRUS_CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(3)
+}
+
+/// Sweeps chaos seeds over forest-vs-oracle agreement for one flavor and
+/// shard count. The chaos seed doubles as sharding seed and stream seed,
+/// so a failure replays from the one number in the panic message.
+fn agreement_sweep<F: RcuFlavor>(shards: usize, base_seed: u64) {
+    let _watchdog = testkit::stress_watchdog("forest_conformance::agreement_sweep");
+    for i in 0..seeds_from_env() {
+        let seed = base_seed.wrapping_add(i);
+        let _chaos = testkit::install_chaos(testkit::ChaosPlan::from_seed(seed));
+        let forest: CitrusForest<u64, u64, F> =
+            CitrusForest::with_config(shards, seed, ReclaimMode::Epoch);
+        let oracle: CitrusTree<u64, u64, F> = CitrusTree::with_reclaim(ReclaimMode::Epoch);
+        testkit::check_map_agreement(&forest, &oracle, 600, 128, seed);
+
+        // The quiescent views must agree too, and the forest must still
+        // satisfy every per-shard structural invariant.
+        let mut forest = forest;
+        let mut oracle = oracle;
+        assert_eq!(
+            forest.to_vec_quiescent(),
+            oracle.to_vec_quiescent(),
+            "quiescent contents diverged (seed {seed:#x}, {shards} shards)"
+        );
+        let stats = forest.validate_structure().unwrap_or_else(|v| {
+            panic!("forest invariant violation (seed {seed:#x}, {shards} shards): {v:?}")
+        });
+        assert_eq!(stats.len, oracle.len_quiescent());
+    }
+}
+
+#[test]
+fn scalable_one_shard_agrees() {
+    agreement_sweep::<ScalableRcu>(1, 0xF0_0001);
+}
+
+#[test]
+fn scalable_three_shards_agrees() {
+    agreement_sweep::<ScalableRcu>(3, 0xF0_0003);
+}
+
+#[test]
+fn scalable_eight_shards_agrees() {
+    agreement_sweep::<ScalableRcu>(8, 0xF0_0008);
+}
+
+#[test]
+fn global_lock_one_shard_agrees() {
+    agreement_sweep::<GlobalLockRcu>(1, 0xF1_0001);
+}
+
+#[test]
+fn global_lock_three_shards_agrees() {
+    agreement_sweep::<GlobalLockRcu>(3, 0xF1_0003);
+}
+
+#[test]
+fn global_lock_eight_shards_agrees() {
+    agreement_sweep::<GlobalLockRcu>(8, 0xF1_0008);
+}
+
+#[test]
+fn three_shards_rounds_up_to_four() {
+    let forest: CitrusForest<u64, u64> = CitrusForest::with_shards(3);
+    assert_eq!(forest.shard_count(), 4);
+}
+
+#[test]
+fn routing_is_a_pure_function_of_the_seed() {
+    for seed in [0u64, 1, 0xDEADBEEF, u64::MAX] {
+        let a: CitrusForest<u64, u64> = CitrusForest::with_sharding_seed(8, seed);
+        let b: CitrusForest<u64, u64> = CitrusForest::with_sharding_seed(8, seed);
+        for key in 0u64..2048 {
+            assert_eq!(
+                a.shard_for(&key),
+                b.shard_for(&key),
+                "same seed {seed:#x} must route key {key} identically"
+            );
+        }
+    }
+}
+
+#[test]
+fn routed_shard_is_where_the_key_lives() {
+    let mut forest: CitrusForest<u64, u64> = CitrusForest::with_sharding_seed(8, 0x5EED);
+    {
+        let mut s = forest.session();
+        for k in 0u64..300 {
+            assert!(s.insert(k, k));
+        }
+    }
+    for k in 0u64..300 {
+        let routed = forest.shard_for(&k);
+        let occupancy = forest.record_occupancy();
+        assert_eq!(occupancy.iter().sum::<usize>(), 300);
+        // The routed shard must contain the key; sessions re-route
+        // deterministically, so removing through a fresh session drains
+        // the same shard.
+        let before = occupancy[routed];
+        assert!(forest.session().remove(&k));
+        let after = forest.record_occupancy()[routed];
+        assert_eq!(after, before - 1, "key {k} was not in its routed shard");
+        assert!(forest.session().insert(k, k));
+    }
+}
