@@ -1,0 +1,946 @@
+//! Linearizability checking for [`ConcurrentMap`] implementations:
+//! recorded concurrent histories plus a Wing–Gong/Lowe (WGL) checker.
+//!
+//! The paper's central correctness claim (§4) is that Citrus is
+//! *linearizable*. The [`testkit`](crate::testkit) batteries enforce
+//! strong heuristic invariants (quiescent agreement, lost-update
+//! detection, insert exclusivity), but none of them would catch a
+//! stale-read anomaly that violates real-time order — a `get` returning a
+//! value the key no longer held when the `get` *started*. This module is
+//! the machine-checked stand-in for the paper's proof:
+//!
+//! 1. A **history recorder** ([`HistoryRecorder`] / [`RecordedSession`])
+//!    wraps any [`MapSession`] and logs one invocation/response event pair
+//!    per operation into a *per-thread append-only buffer*. The only
+//!    shared state on the hot path is a single global ticket clock (an
+//!    atomic `fetch_add` per event — no lock): an operation's true
+//!    linearization point lies between its two ticket draws, so ticket
+//!    order is a sound real-time precedence relation (`a` precedes `b`
+//!    iff `a`'s response ticket < `b`'s invocation ticket).
+//! 2. A **WGL checker** ([`check_history`]) decides whether a recorded
+//!    history has a linearization: a total order of the operations that
+//!    respects real-time precedence and replays correctly against the
+//!    sequential map specification. The search is a DFS over "linearize
+//!    any currently-eligible operation next" with memoized
+//!    `(linearized-set, state)` pruning. Because the dictionary has *set
+//!    semantics* — each operation reads and writes the presence/value of
+//!    exactly one key — the history is first partitioned per key and each
+//!    per-key subhistory is checked independently, which keeps the search
+//!    tractable (the full-history search space is the product of the
+//!    per-key ones; see DESIGN.md §6f for the compositionality argument).
+//! 3. On failure the offending per-key subhistory is **shrunk** to a
+//!    1-minimal non-linearizable sub-history (greedily dropping every
+//!    operation whose removal preserves the violation) and pretty-printed
+//!    in timestamp order.
+//!
+//! [`check_linearizable`] drives the whole pipeline from a seed: run a
+//! mixed workload, record, dump the history to a file (forensic evidence
+//! even if the checker itself is interrupted), check, and panic with the
+//! minimal counterexample on violation. [`sweep_lincheck_chaos_seeds`]
+//! layers the chaos failpoint subsystem on top to diversify the
+//! interleavings each seed explores.
+//!
+//! # Preconditions
+//!
+//! The checker assumes the map was **empty** when recording began and
+//! that every recorded operation completed (crash-free histories; a
+//! [`RecordedSession`] logs the response event after the inner call
+//! returns, so a panicking operation simply never enters the history).
+
+use crate::{ConcurrentMap, MapSession};
+use citrus_chaos::{install as install_chaos, ChaosPlan};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// One recorded operation (invocation kind and arguments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `insert(key, value)`.
+    Insert {
+        /// The inserted key.
+        key: u64,
+        /// The inserted value.
+        value: u64,
+    },
+    /// `remove(key)`.
+    Remove {
+        /// The removed key.
+        key: u64,
+    },
+    /// `get(key)`.
+    Get {
+        /// The queried key.
+        key: u64,
+    },
+    /// `contains(key)`.
+    Contains {
+        /// The queried key.
+        key: u64,
+    },
+}
+
+impl Op {
+    /// The single key this operation touches (set semantics — the basis
+    /// for per-key partitioning).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Insert { key, .. }
+            | Op::Remove { key }
+            | Op::Get { key }
+            | Op::Contains { key } => key,
+        }
+    }
+}
+
+/// A recorded response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ret {
+    /// `insert` / `remove` / `contains` result.
+    Granted(bool),
+    /// `get` result.
+    Found(Option<u64>),
+}
+
+/// One completed operation in a history: real-time interval (ticket
+/// clock), issuing thread, invocation, and response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedOp {
+    /// Recorder lane (thread index) that issued the operation.
+    pub thread: usize,
+    /// Invocation ticket — drawn immediately before the inner call.
+    pub inv: u64,
+    /// Response ticket — drawn immediately after the inner call returned.
+    pub ret_at: u64,
+    /// The operation.
+    pub op: Op,
+    /// Its response.
+    pub ret: Ret,
+}
+
+impl fmt::Display for RecordedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[inv {:>6} → ret {:>6}] thread {}: ",
+            self.inv, self.ret_at, self.thread
+        )?;
+        match (self.op, self.ret) {
+            (Op::Insert { key, value }, Ret::Granted(g)) => {
+                write!(f, "insert({key}, value {value}) → {g}")
+            }
+            (Op::Remove { key }, Ret::Granted(g)) => write!(f, "remove({key}) → {g}"),
+            (Op::Contains { key }, Ret::Granted(g)) => write!(f, "contains({key}) → {g}"),
+            (Op::Get { key }, Ret::Found(v)) => write!(f, "get({key}) → {v:?}"),
+            (op, ret) => write!(f, "<malformed op/ret pairing {op:?} / {ret:?}>"),
+        }
+    }
+}
+
+/// A complete concurrent history: every completed operation from every
+/// recorder lane, merged and sorted by invocation ticket.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// The operations, sorted by invocation ticket.
+    pub ops: Vec<RecordedOp>,
+}
+
+impl History {
+    /// Merges per-thread logs into one history (sorted by invocation
+    /// ticket).
+    #[must_use]
+    pub fn from_thread_logs(logs: Vec<Vec<RecordedOp>>) -> Self {
+        let mut ops: Vec<RecordedOp> = logs.into_iter().flatten().collect();
+        ops.sort_by_key(|o| o.inv);
+        Self { ops }
+    }
+
+    /// Renders the whole history, one operation per line, in invocation
+    /// order.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            out.push_str(&format!("{op}\n"));
+        }
+        out
+    }
+}
+
+/// Issues monotonic event tickets and builds [`RecordedSession`]s.
+///
+/// One recorder serves one concurrent run: create it, wrap every worker's
+/// session via [`wrap`](Self::wrap), and merge the finished per-thread
+/// logs with [`History::from_thread_logs`].
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    clock: AtomicU64,
+}
+
+impl HistoryRecorder {
+    /// Creates a recorder with the ticket clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps `session` so every operation through it is logged under lane
+    /// `thread`. The log is thread-private (append-only `Vec`); only the
+    /// ticket clock is shared.
+    pub fn wrap<S>(&self, thread: usize, session: S) -> RecordedSession<'_, S> {
+        RecordedSession {
+            clock: &self.clock,
+            thread,
+            log: Vec::new(),
+            inner: session,
+        }
+    }
+}
+
+/// A [`MapSession`] wrapper that records every operation (see
+/// [`HistoryRecorder`]).
+#[derive(Debug)]
+pub struct RecordedSession<'c, S> {
+    clock: &'c AtomicU64,
+    thread: usize,
+    log: Vec<RecordedOp>,
+    inner: S,
+}
+
+impl<S> RecordedSession<'_, S> {
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Consumes the wrapper, returning this lane's log.
+    #[must_use]
+    pub fn finish(self) -> Vec<RecordedOp> {
+        self.log
+    }
+}
+
+impl<S: MapSession<u64, u64>> MapSession<u64, u64> for RecordedSession<'_, S> {
+    fn get(&mut self, key: &u64) -> Option<u64> {
+        let inv = self.tick();
+        let r = self.inner.get(key);
+        let ret_at = self.tick();
+        self.log.push(RecordedOp {
+            thread: self.thread,
+            inv,
+            ret_at,
+            op: Op::Get { key: *key },
+            ret: Ret::Found(r),
+        });
+        r
+    }
+
+    fn contains(&mut self, key: &u64) -> bool {
+        let inv = self.tick();
+        let r = self.inner.contains(key);
+        let ret_at = self.tick();
+        self.log.push(RecordedOp {
+            thread: self.thread,
+            inv,
+            ret_at,
+            op: Op::Contains { key: *key },
+            ret: Ret::Granted(r),
+        });
+        r
+    }
+
+    fn insert(&mut self, key: u64, value: u64) -> bool {
+        let inv = self.tick();
+        let r = self.inner.insert(key, value);
+        let ret_at = self.tick();
+        self.log.push(RecordedOp {
+            thread: self.thread,
+            inv,
+            ret_at,
+            op: Op::Insert { key, value },
+            ret: Ret::Granted(r),
+        });
+        r
+    }
+
+    fn remove(&mut self, key: &u64) -> bool {
+        let inv = self.tick();
+        let r = self.inner.remove(key);
+        let ret_at = self.tick();
+        self.log.push(RecordedOp {
+            thread: self.thread,
+            inv,
+            ret_at,
+            op: Op::Remove { key: *key },
+            ret: Ret::Granted(r),
+        });
+        r
+    }
+}
+
+/// A linearizability violation: the minimal (greedily shrunk) offending
+/// sub-history on one key.
+#[derive(Debug, Clone)]
+pub struct NonLinearizable {
+    /// The key whose subhistory has no linearization.
+    pub key: u64,
+    /// The 1-minimal non-linearizable sub-history, in invocation order.
+    pub ops: Vec<RecordedOp>,
+}
+
+impl fmt::Display for NonLinearizable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "minimal non-linearizable sub-history on key {} ({} ops, invocation order):",
+            self.key,
+            self.ops.len()
+        )?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        write!(
+            f,
+            "  (no total order of these operations both respects their real-time \
+             intervals and replays against the sequential map spec)"
+        )
+    }
+}
+
+/// Replays `op` against the single-key sequential spec state (`None` =
+/// absent, `Some(v)` = present with value `v`); returns the post-state,
+/// or `None` when the recorded response is impossible from `state`.
+///
+/// # Panics
+///
+/// Panics on a malformed op/ret pairing (e.g. an `Insert` recorded with a
+/// `Found` response) — that is recorder corruption, not a linearizability
+/// verdict.
+fn apply(op: &RecordedOp, state: Option<u64>) -> Option<Option<u64>> {
+    match (op.op, op.ret) {
+        (Op::Insert { value, .. }, Ret::Granted(true)) => state.is_none().then_some(Some(value)),
+        (Op::Insert { .. }, Ret::Granted(false)) => state.is_some().then_some(state),
+        (Op::Remove { .. }, Ret::Granted(true)) => state.is_some().then_some(None),
+        (Op::Remove { .. }, Ret::Granted(false)) => state.is_none().then_some(None),
+        (Op::Get { .. }, Ret::Found(v)) => (state == v).then_some(state),
+        (Op::Contains { .. }, Ret::Granted(present)) => {
+            (state.is_some() == present).then_some(state)
+        }
+        (op, ret) => panic!("malformed history: op {op:?} recorded with response {ret:?}"),
+    }
+}
+
+#[inline]
+fn bit(mask: &[u64], i: usize) -> bool {
+    mask[i / 64] >> (i % 64) & 1 == 1
+}
+
+#[inline]
+fn set_bit(mask: &mut [u64], i: usize) {
+    mask[i / 64] |= 1 << (i % 64);
+}
+
+#[inline]
+fn clear_bit(mask: &mut [u64], i: usize) {
+    mask[i / 64] &= !(1 << (i % 64));
+}
+
+/// Wing–Gong DFS with Lowe's memoization over one key's subhistory:
+/// `true` iff a linearization exists.
+///
+/// An operation is *eligible* next iff no other still-unlinearized
+/// operation responded before it was invoked (real-time precedence must
+/// be respected). Visited `(linearized-set, state)` configurations are
+/// memoized: reaching the same set of linearized operations with the same
+/// abstract state again cannot succeed where the first visit failed.
+fn is_linearizable(ops: &[RecordedOp]) -> bool {
+    let n = ops.len();
+    if n == 0 {
+        return true;
+    }
+    let mut done = vec![0u64; n.div_ceil(64)];
+    let mut memo: HashSet<(Box<[u64]>, Option<u64>)> = HashSet::new();
+    dfs(ops, &mut done, 0, None, &mut memo)
+}
+
+fn dfs(
+    ops: &[RecordedOp],
+    done: &mut [u64],
+    n_done: usize,
+    state: Option<u64>,
+    memo: &mut HashSet<(Box<[u64]>, Option<u64>)>,
+) -> bool {
+    if n_done == ops.len() {
+        return true;
+    }
+    if !memo.insert((done.to_vec().into_boxed_slice(), state)) {
+        return false;
+    }
+    // Smallest and second-smallest response tickets among pending ops:
+    // op `i` is eligible iff its invocation precedes every *other*
+    // pending op's response.
+    let (mut min1, mut min1_at, mut min2) = (u64::MAX, usize::MAX, u64::MAX);
+    for (i, op) in ops.iter().enumerate() {
+        if bit(done, i) {
+            continue;
+        }
+        if op.ret_at < min1 {
+            (min2, min1, min1_at) = (min1, op.ret_at, i);
+        } else if op.ret_at < min2 {
+            min2 = op.ret_at;
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if bit(done, i) {
+            continue;
+        }
+        let earliest_other_ret = if i == min1_at { min2 } else { min1 };
+        if earliest_other_ret < op.inv {
+            continue; // some pending op completed before this one started
+        }
+        if let Some(next) = apply(op, state) {
+            set_bit(done, i);
+            if dfs(ops, done, n_done + 1, next, memo) {
+                return true;
+            }
+            clear_bit(done, i);
+        }
+    }
+    false
+}
+
+/// Greedily shrinks a non-linearizable per-key subhistory to a 1-minimal
+/// one: repeatedly drop any operation whose removal preserves
+/// non-linearizability, until no single removal does.
+fn shrink(mut ops: Vec<RecordedOp>) -> Vec<RecordedOp> {
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        while i < ops.len() {
+            let mut candidate = ops.clone();
+            candidate.remove(i);
+            if !is_linearizable(&candidate) {
+                ops = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !changed {
+            return ops;
+        }
+    }
+}
+
+/// Checks a recorded history for linearizability against the sequential
+/// map specification (empty initial state).
+///
+/// The history is partitioned per key (sound for set semantics: every
+/// operation touches exactly one key, so the spec is a product of
+/// independent single-key cells and a linearization exists iff one exists
+/// per key). Each per-key subhistory runs the memoized WGL DFS; the first
+/// violating key is shrunk to a minimal counterexample.
+///
+/// # Errors
+///
+/// Returns the shrunk counterexample for the smallest violating key.
+pub fn check_history(history: &History) -> Result<(), NonLinearizable> {
+    let mut per_key: BTreeMap<u64, Vec<RecordedOp>> = BTreeMap::new();
+    for op in &history.ops {
+        per_key.entry(op.op.key()).or_default().push(*op);
+    }
+    for (key, ops) in per_key {
+        if !is_linearizable(&ops) {
+            return Err(NonLinearizable {
+                key,
+                ops: shrink(ops),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs a seeded mixed workload (≈40% insert / 30% remove / 30% get over
+/// uniform keys in `[0, key_range)`) with `threads` workers of
+/// `ops_per_thread` operations each against `map`, recording every
+/// operation. Inserted values are unique per `(thread, op)` so a stale
+/// `get` pins exactly which insert it observed.
+pub fn record_history<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    threads: usize,
+    ops_per_thread: usize,
+    key_range: u64,
+    seed: u64,
+) -> History {
+    assert!(threads > 0, "at least one recording worker required");
+    let recorder = HistoryRecorder::new();
+    let barrier = Barrier::new(threads);
+    let logs: Vec<Vec<RecordedOp>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (recorder, barrier, map) = (&recorder, &barrier, &*map);
+                scope.spawn(move || {
+                    let mut rng = crate::testkit::SplitMix64::new(
+                        seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut session = recorder.wrap(t, map.session());
+                    barrier.wait();
+                    for i in 0..ops_per_thread {
+                        let key = rng.below(key_range);
+                        match rng.below(10) {
+                            0..=3 => {
+                                session.insert(key, ((t as u64) << 32) | i as u64);
+                            }
+                            4..=6 => {
+                                session.remove(&key);
+                            }
+                            _ => {
+                                session.get(&key);
+                            }
+                        }
+                    }
+                    session.finish()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("recording worker panicked"))
+            .collect()
+    });
+    History::from_thread_logs(logs)
+}
+
+/// The most recently written history dump path, if any (process-global).
+///
+/// [`check_linearizable`] notes every dump it writes here so the
+/// [`stress_watchdog`](crate::testkit::stress_watchdog) timeout
+/// diagnostic can point at the forensic evidence a hung lincheck run
+/// left behind.
+static LAST_DUMP: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Records `path` as the most recent history dump.
+pub fn note_history_dump(path: &Path) {
+    *LAST_DUMP.lock().unwrap() = Some(path.to_path_buf());
+}
+
+/// The most recently recorded history dump path, if any.
+#[must_use]
+pub fn last_history_dump() -> Option<PathBuf> {
+    LAST_DUMP.lock().unwrap().clone()
+}
+
+/// Writes the rendered history as
+/// `lincheck_<name>_<seed>.history.txt` under `CITRUS_LIN_DUMP_DIR`
+/// (default: the OS temp directory) and notes the path for the stress
+/// watchdog. Returns `None` (with a warning) if the write fails — dump
+/// failure must never mask the actual linearizability verdict.
+fn dump_history(name: &str, seed: u64, history: &History) -> Option<PathBuf> {
+    let dir =
+        std::env::var_os("CITRUS_LIN_DUMP_DIR").map_or_else(std::env::temp_dir, PathBuf::from);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "[citrus-lincheck] cannot create dump dir {}: {e}",
+            dir.display()
+        );
+        return None;
+    }
+    let path = dir.join(format!("lincheck_{name}_{seed:#x}.history.txt"));
+    let body = format!(
+        "# lincheck history: structure {name}, seed {seed:#x}, {} ops\n{}",
+        history.ops.len(),
+        history.render()
+    );
+    match std::fs::write(&path, body) {
+        Ok(()) => {
+            note_history_dump(&path);
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!(
+                "[citrus-lincheck] history dump to {} failed: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+/// End-to-end linearizability check: build a fresh map with `make`, run a
+/// seeded mixed workload (`threads` × `ops_per_thread` over
+/// `[0, key_range)`), dump the recorded history to a file (see
+/// [`last_history_dump`]), and verify it with the WGL checker.
+///
+/// # Panics
+///
+/// Panics with the pretty-printed minimal counterexample (and the dump
+/// path) if the history is not linearizable.
+pub fn check_linearizable<M, F>(
+    make: F,
+    threads: usize,
+    ops_per_thread: usize,
+    key_range: u64,
+    seed: u64,
+) where
+    M: ConcurrentMap<u64, u64>,
+    F: Fn() -> M,
+{
+    let map = make();
+    let history = record_history(&map, threads, ops_per_thread, key_range, seed);
+    let dump = dump_history(M::NAME, seed, &history);
+    if let Err(cx) = check_history(&history) {
+        let dump_note = match &dump {
+            Some(path) => {
+                // Append the counterexample to the dump so the artifact is
+                // self-contained.
+                let _ = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| {
+                        use std::io::Write as _;
+                        write!(f, "\n# VERDICT\n{cx}\n")
+                    });
+                format!("full history dump: {}", path.display())
+            }
+            None => "full history dump unavailable (write failed)".to_string(),
+        };
+        panic!(
+            "non-linearizable history for {} (seed {seed:#x}, {threads} threads × \
+             {ops_per_thread} ops, keys [0, {key_range})):\n{cx}\n{dump_note}",
+            M::NAME
+        );
+    }
+}
+
+/// Sweeps `count` consecutive chaos schedule seeds starting at
+/// `base_seed`: each seed installs a [`ChaosPlan`] (schedule perturbation
+/// at every failpoint; a no-op without the `chaos` cargo feature) and
+/// runs [`check_linearizable`] with the same seed driving the workload,
+/// printing the replay recipe before re-raising any failure.
+pub fn sweep_lincheck_chaos_seeds<M, F>(
+    make: F,
+    threads: usize,
+    ops_per_thread: usize,
+    key_range: u64,
+    base_seed: u64,
+    count: u64,
+) where
+    M: ConcurrentMap<u64, u64>,
+    F: Fn() -> M,
+{
+    for i in 0..count {
+        let seed = base_seed.wrapping_add(i);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _chaos = install_chaos(ChaosPlan::from_seed(seed));
+            check_linearizable(&make, threads, ops_per_thread, key_range, seed);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "[citrus-lincheck] chaos seed {seed:#x} produced a non-linearizable history — \
+                 replay with check_linearizable under ChaosPlan::from_seed({seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Worker count for lincheck runs: `CITRUS_LIN_THREADS` when set and
+/// parseable, otherwise `default`. Lets CI bound history width.
+#[must_use]
+pub fn lin_threads(default: usize) -> usize {
+    match std::env::var("CITRUS_LIN_THREADS") {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// Per-thread operation count for lincheck runs: `CITRUS_LIN_OPS` when
+/// set and parseable, otherwise `default`. Lets CI bound history length
+/// (the checker's search grows with ops per key).
+#[must_use]
+pub fn lin_ops(default: usize) -> usize {
+    match std::env::var("CITRUS_LIN_OPS") {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::btree_map::Entry;
+    use std::sync::Mutex as StdMutex;
+
+    // ---- checker self-test battery: hand-written histories ----------
+
+    fn rec(thread: usize, inv: u64, ret_at: u64, op: Op, ret: Ret) -> RecordedOp {
+        RecordedOp {
+            thread,
+            inv,
+            ret_at,
+            op,
+            ret,
+        }
+    }
+
+    fn ins(t: usize, inv: u64, ret_at: u64, key: u64, value: u64, granted: bool) -> RecordedOp {
+        rec(
+            t,
+            inv,
+            ret_at,
+            Op::Insert { key, value },
+            Ret::Granted(granted),
+        )
+    }
+
+    fn rem(t: usize, inv: u64, ret_at: u64, key: u64, granted: bool) -> RecordedOp {
+        rec(t, inv, ret_at, Op::Remove { key }, Ret::Granted(granted))
+    }
+
+    fn get(t: usize, inv: u64, ret_at: u64, key: u64, found: Option<u64>) -> RecordedOp {
+        rec(t, inv, ret_at, Op::Get { key }, Ret::Found(found))
+    }
+
+    fn history(ops: Vec<RecordedOp>) -> History {
+        History::from_thread_logs(vec![ops])
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check_history(&History::default()).is_ok());
+    }
+
+    #[test]
+    fn sequential_lifecycle_is_linearizable() {
+        let h = history(vec![
+            ins(0, 0, 1, 5, 42, true),
+            get(0, 2, 3, 5, Some(42)),
+            rem(0, 4, 5, 5, true),
+            get(0, 6, 7, 5, None),
+            ins(0, 8, 9, 5, 43, true),
+        ]);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn concurrent_insert_race_one_winner_is_linearizable() {
+        // Two overlapping inserts; exactly one granted — the classic race.
+        let h = history(vec![ins(0, 0, 3, 7, 1, true), ins(1, 1, 2, 7, 2, false)]);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn concurrent_insert_delete_get_on_one_key_is_linearizable() {
+        // All three fully overlap: insert→true, remove→true, get→None has
+        // the valid order insert, remove, get.
+        let h = history(vec![
+            ins(0, 0, 9, 3, 11, true),
+            rem(1, 1, 8, 3, true),
+            get(2, 2, 7, 3, None),
+        ]);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn duplicate_grant_is_rejected() {
+        // Two successful inserts with no successful remove anywhere: no
+        // order can make the second insert's precondition hold.
+        let h = history(vec![ins(0, 0, 3, 7, 1, true), ins(1, 1, 2, 7, 2, true)]);
+        let err = check_history(&h).unwrap_err();
+        assert_eq!(err.key, 7);
+        assert_eq!(err.ops.len(), 2, "both grants are needed: {err}");
+    }
+
+    #[test]
+    fn real_time_order_violation_is_rejected() {
+        // get→None strictly after insert→true completed, no remove: a
+        // stale read. The linearization may not reorder across real time.
+        let h = history(vec![ins(0, 0, 1, 9, 5, true), get(1, 2, 3, 9, None)]);
+        let err = check_history(&h).unwrap_err();
+        assert_eq!(err.key, 9);
+    }
+
+    #[test]
+    fn overlapping_get_may_linearize_before_the_insert() {
+        // Same shape as above but the get overlaps the insert, so get
+        // before insert is a valid order.
+        let h = history(vec![ins(0, 0, 5, 9, 5, true), get(1, 1, 2, 9, None)]);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn observed_value_pins_the_linearization_order() {
+        let lifecycle = |observed: u64| {
+            history(vec![
+                ins(0, 0, 1, 4, 100, true),
+                rem(0, 2, 3, 4, true),
+                ins(0, 4, 5, 4, 200, true),
+                get(1, 6, 7, 4, Some(observed)),
+            ])
+        };
+        // Seeing the live value is fine; seeing the removed one is a
+        // stale read even though *some* insert of it existed.
+        assert!(check_history(&lifecycle(200)).is_ok());
+        assert!(check_history(&lifecycle(100)).is_err());
+    }
+
+    #[test]
+    fn failed_remove_of_present_key_is_rejected() {
+        let h = history(vec![ins(0, 0, 1, 2, 9, true), rem(1, 2, 3, 2, false)]);
+        assert!(check_history(&h).is_err());
+    }
+
+    #[test]
+    fn disjoint_keys_are_checked_independently() {
+        // Key 1 carries a violation; keys 2 and 3 carry valid traffic.
+        // The counterexample must only involve key 1's ops.
+        let h = history(vec![
+            ins(0, 0, 1, 2, 7, true),
+            ins(0, 2, 3, 1, 8, true),
+            get(0, 4, 5, 3, None),
+            get(1, 6, 7, 1, None), // stale
+            get(0, 8, 9, 2, Some(7)),
+        ]);
+        let err = check_history(&h).unwrap_err();
+        assert_eq!(err.key, 1);
+        assert!(err.ops.iter().all(|o| o.op.key() == 1));
+    }
+
+    #[test]
+    fn counterexample_is_shrunk_to_a_minimal_core() {
+        // Plenty of benign traffic around a 2-op violation.
+        let h = history(vec![
+            ins(0, 0, 1, 6, 1, true),
+            get(0, 2, 3, 6, Some(1)),
+            rem(0, 4, 5, 6, true),
+            ins(0, 6, 7, 6, 2, true),
+            get(1, 8, 9, 6, None), // stale: value 2 is live
+            get(0, 10, 11, 6, Some(2)),
+        ]);
+        let err = check_history(&h).unwrap_err();
+        assert!(
+            err.ops.len() <= 3,
+            "greedy shrink should reach a small core, got {} ops:\n{err}",
+            err.ops.len()
+        );
+        // 1-minimality: removing any single remaining op restores
+        // linearizability.
+        for i in 0..err.ops.len() {
+            let mut fewer = err.ops.clone();
+            fewer.remove(i);
+            assert!(
+                check_history(&history(fewer)).is_ok(),
+                "counterexample is not 1-minimal at op {i}:\n{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn pretty_printer_names_the_key_and_ops() {
+        let err = check_history(&history(vec![
+            ins(0, 0, 1, 9, 5, true),
+            get(1, 2, 3, 9, None),
+        ]))
+        .unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("key 9"), "{text}");
+        assert!(text.contains("insert(9, value 5) → true"), "{text}");
+        assert!(text.contains("get(9) → None"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed history")]
+    fn malformed_op_ret_pairing_panics() {
+        let h = history(vec![rec(
+            0,
+            0,
+            1,
+            Op::Insert { key: 1, value: 1 },
+            Ret::Found(None),
+        )]);
+        let _ = check_history(&h);
+    }
+
+    // ---- recorder + end-to-end over a known-correct map -------------
+
+    /// Coarse-locked reference map (mirrors the one in `crate::tests`).
+    #[derive(Default, Debug)]
+    struct CoarseMap {
+        inner: StdMutex<BTreeMap<u64, u64>>,
+    }
+
+    struct CoarseSession<'a>(&'a CoarseMap);
+
+    impl ConcurrentMap<u64, u64> for CoarseMap {
+        type Session<'a> = CoarseSession<'a>;
+        const NAME: &'static str = "coarse-btreemap";
+        fn session(&self) -> CoarseSession<'_> {
+            CoarseSession(self)
+        }
+    }
+
+    impl MapSession<u64, u64> for CoarseSession<'_> {
+        fn get(&mut self, key: &u64) -> Option<u64> {
+            self.0.inner.lock().unwrap().get(key).copied()
+        }
+        fn insert(&mut self, key: u64, value: u64) -> bool {
+            match self.0.inner.lock().unwrap().entry(key) {
+                Entry::Occupied(_) => false,
+                Entry::Vacant(e) => {
+                    e.insert(value);
+                    true
+                }
+            }
+        }
+        fn remove(&mut self, key: &u64) -> bool {
+            self.0.inner.lock().unwrap().remove(key).is_some()
+        }
+    }
+
+    #[test]
+    fn recorder_intervals_nest_and_order_per_thread() {
+        let map = CoarseMap::default();
+        let history = record_history(&map, 3, 50, 8, 0xA11CE);
+        assert_eq!(history.ops.len(), 150);
+        // Every interval is well-formed and per-thread logs are ordered.
+        let mut last_ret: BTreeMap<usize, u64> = BTreeMap::new();
+        for op in &history.ops {
+            assert!(op.inv < op.ret_at, "interval inverted: {op}");
+            if let Some(&prev) = last_ret.get(&op.thread) {
+                assert!(prev < op.inv, "thread {}'s ops overlap", op.thread);
+            }
+            last_ret.insert(op.thread, op.ret_at);
+        }
+        // Tickets are globally unique.
+        let mut all: Vec<u64> = history.ops.iter().flat_map(|o| [o.inv, o.ret_at]).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 300);
+    }
+
+    #[test]
+    fn correct_map_passes_end_to_end() {
+        check_linearizable(CoarseMap::default, 4, 150, 16, 0x11C4EC);
+    }
+
+    #[test]
+    fn env_knobs_fall_back_to_defaults() {
+        if std::env::var("CITRUS_LIN_THREADS").is_err() {
+            assert_eq!(lin_threads(6), 6);
+        }
+        if std::env::var("CITRUS_LIN_OPS").is_err() {
+            assert_eq!(lin_ops(123), 123);
+        }
+    }
+
+    #[test]
+    fn dump_note_round_trips() {
+        // check_linearizable above already wrote a dump; the registry must
+        // surface *some* path once any lincheck ran in this process.
+        check_linearizable(CoarseMap::default, 1, 10, 4, 0xD00D);
+        let path = last_history_dump().expect("a dump was recorded");
+        assert!(path.to_string_lossy().contains("lincheck_"));
+    }
+}

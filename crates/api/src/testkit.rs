@@ -34,6 +34,10 @@ use std::time::{Duration, Instant};
 
 pub use citrus_chaos::{chaos_enabled, install as install_chaos, ChaosGuard, ChaosPlan};
 
+pub use crate::lincheck::{
+    check_linearizable, last_history_dump, lin_ops, lin_threads, sweep_lincheck_chaos_seeds,
+};
+
 /// Deterministic 64-bit PRNG (SplitMix64), dependency-free.
 ///
 /// # Example
@@ -563,10 +567,19 @@ pub fn stress_watchdog(test: &str) -> StressWatchdog {
                         finished = cvar.wait_timeout(finished, remaining).unwrap().0;
                     }
                     None => {
+                        // A hung lincheck run has already dumped its
+                        // recorded history; point the post-mortem at it.
+                        let dump_note = match crate::lincheck::last_history_dump() {
+                            Some(path) => {
+                                format!(" Last recorded history dump: {}.", path.display())
+                            }
+                            None => String::new(),
+                        };
                         eprintln!(
                             "[citrus-testkit] stress watchdog: test '{test}' still running after \
                              {timeout_secs}s — likely livelocked. Aborting with exit code 124. \
-                             Tune with CITRUS_STRESS_TIMEOUT_SECS / CITRUS_STRESS_ITERS."
+                             Tune with CITRUS_STRESS_TIMEOUT_SECS / CITRUS_STRESS_ITERS.\
+                             {dump_note}"
                         );
                         std::process::exit(124);
                     }

@@ -204,3 +204,67 @@ pub fn banner(what: &str) {
         cfg.duration, cfg.reps, cfg.threads, cfg.range_small, cfg.range_large
     );
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchjson::Json;
+    use citrus_harness::Series;
+
+    /// The `BENCH_*.json` writer round-trips through the parser: every
+    /// field of the report survives serialize → parse structurally intact,
+    /// so the figure binaries can't silently emit malformed JSON.
+    #[test]
+    fn report_bench_json_round_trips_through_the_parser() {
+        let report = Report {
+            title: "fig\"8\": throughput, range [0,2\u{207b}]".into(),
+            threads: vec![1, 2, 4, 8],
+            series: vec![
+                Series {
+                    label: "Citrus (scalable)".into(),
+                    points: vec![1.25e6, 2.5e6, 4.75e6, 9.0e6],
+                },
+                Series {
+                    label: "lazy\\skip".into(),
+                    points: vec![0.5e6, f64::NAN, 1.5e6, 2.0e6],
+                },
+            ],
+            metrics: None,
+        };
+        let doc = benchjson::parse(&report_bench_json(&report, "fig8"))
+            .expect("writer output must parse");
+
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("fig8"));
+        assert_eq!(
+            doc.get("title").and_then(Json::as_str),
+            Some(report.title.as_str()),
+            "escaped title must decode back unchanged"
+        );
+        let threads: Vec<f64> = doc
+            .get("threads")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|t| t.as_f64().unwrap())
+            .collect();
+        assert_eq!(threads, vec![1.0, 2.0, 4.0, 8.0]);
+
+        let series = doc.get("series").and_then(Json::as_arr).unwrap();
+        assert_eq!(series.len(), report.series.len());
+        for (got, want) in series.iter().zip(&report.series) {
+            assert_eq!(
+                got.get("label").and_then(Json::as_str),
+                Some(want.label.as_str())
+            );
+            let points = got.get("ops_per_s").and_then(Json::as_arr).unwrap();
+            assert_eq!(points.len(), want.points.len());
+            for (p, &w) in points.iter().zip(&want.points) {
+                if w.is_nan() {
+                    assert_eq!(p, &Json::Null, "NaN points serialize as null");
+                } else {
+                    assert_eq!(p.as_f64(), Some(w));
+                }
+            }
+        }
+    }
+}

@@ -424,6 +424,11 @@ where
         let _pin = self.ebr.as_ref().map(|h| h.pin());
         let _guard = self.rcu.read_lock();
         let (_prev, _tag, curr, _dir) = self.search(key);
+        // Widens the window between locating the node and reading its
+        // value, still inside the read-side section — the interval where
+        // a stale read would manifest if the RCU protocol were broken
+        // (exercised by the lincheck chaos sweeps).
+        chaos::point("citrus/get/after-search");
         if curr.is_null() {
             return None;
         }

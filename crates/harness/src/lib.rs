@@ -31,6 +31,7 @@ pub use config::BenchConfig;
 pub use experiments::ForestCell;
 pub use report::{Report, Series};
 pub use runner::{
-    run_algo, run_algo_observed, run_forest_observed, run_throughput, ForestRun, RunResult,
+    run_algo, run_algo_observed, run_forest_observed, run_recorded, run_throughput, ForestRun,
+    RunResult,
 };
 pub use workload::{Algo, OpMix, WorkloadSpec};

@@ -188,6 +188,98 @@ pub fn run_throughput<M: ConcurrentMap<u64, u64>>(
     })
 }
 
+/// History-capture run mode: drives `spec.threads` workers for a
+/// *bounded* number of operations each (instead of a timed duration),
+/// recording every operation — including the prefill, which runs on its
+/// own recorder lane — into a [`History`](citrus_api::lincheck::History)
+/// ready for [`check_history`](citrus_api::lincheck::check_history).
+///
+/// The mix, key range, and single-writer mode come from `spec` exactly as
+/// in [`run_throughput`], so a linearizability pass can replay the same
+/// workload shape a benchmark measures. The map must start empty (the
+/// checker replays from the empty state; the recorded prefill provides
+/// it).
+pub fn run_recorded<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    spec: &WorkloadSpec,
+    ops_per_thread: usize,
+    seed: u64,
+) -> citrus_api::lincheck::History {
+    use citrus_api::lincheck::{History, HistoryRecorder};
+
+    assert!(spec.threads > 0, "at least one worker required");
+    assert!(
+        spec.prefill <= spec.key_range,
+        "workload prefill ({}) exceeds key range ({})",
+        spec.prefill,
+        spec.key_range
+    );
+    let recorder = HistoryRecorder::new();
+
+    // Prefill through a recorder lane of its own (index `spec.threads`):
+    // it happens-before every worker op, so the checker sees it as a
+    // sequential prefix instead of an unexplained initial state.
+    let prefill_log = {
+        let mut rng = SplitMix64::new(seed ^ 0xF177);
+        let mut session = recorder.wrap(spec.threads, map.session());
+        let mut inserted = 0;
+        while inserted < spec.prefill {
+            let key = rng.below(spec.key_range);
+            if session.insert(key, key.wrapping_mul(2) + 1) {
+                inserted += 1;
+            }
+        }
+        session.finish()
+    };
+
+    let barrier = Barrier::new(spec.threads);
+    let mut logs: Vec<Vec<citrus_api::lincheck::RecordedOp>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.threads)
+            .map(|t| {
+                let (barrier, recorder, map) = (&barrier, &recorder, &*map);
+                let spec = spec.clone();
+                scope.spawn(move || {
+                    let mut rng = SplitMix64::new(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                    let mut session = recorder.wrap(t, map.session());
+                    let mix = if spec.single_writer {
+                        if t == 0 {
+                            crate::workload::OpMix::updates_only()
+                        } else {
+                            crate::workload::OpMix::read_only()
+                        }
+                    } else {
+                        spec.mix
+                    };
+                    barrier.wait();
+                    for i in 0..ops_per_thread {
+                        let key = rng.below(spec.key_range);
+                        match mix.pick(rng.below(100) as u32) {
+                            OpKind::Contains => {
+                                session.get(&key);
+                            }
+                            OpKind::Insert => {
+                                // Unique values pin which insert a
+                                // stale read observed.
+                                session.insert(key, ((t as u64 + 1) << 32) | i as u64);
+                            }
+                            OpKind::Delete => {
+                                session.remove(&key);
+                            }
+                        }
+                    }
+                    session.finish()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("recording worker panicked"))
+            .collect()
+    });
+    logs.push(prefill_log);
+    History::from_thread_logs(logs)
+}
+
 /// Builds the structure for `algo` and runs the workload on it, averaging
 /// `reps` repetitions (the paper averages five).
 pub fn run_algo(algo: Algo, spec: &WorkloadSpec, reps: usize, seed: u64) -> f64 {
@@ -448,6 +540,42 @@ mod tests {
             "the surviving worker's ops must still be counted"
         );
         assert!(format!("{r}").contains("DEGRADED"));
+    }
+
+    #[test]
+    fn recorded_run_captures_a_checkable_history() {
+        let map: CitrusTree<u64, u64> = CitrusTree::with_reclaim(ReclaimMode::Leak);
+        let spec = WorkloadSpec::new(64, OpMix::with_contains(40), 3, Duration::from_millis(1));
+        let history = run_recorded(&map, &spec, 100, 0x5EC0);
+        // 3 workers × 100 ops, plus the prefill lane: 32 granted inserts
+        // (and any recorded duplicate attempts).
+        assert!(history.ops.len() >= 3 * 100 + 32);
+        let granted_prefills = history
+            .ops
+            .iter()
+            .filter(|o| o.thread == 3 && o.ret == citrus_api::lincheck::Ret::Granted(true))
+            .count();
+        assert_eq!(granted_prefills, 32);
+        // The prefill lane (index == threads) precedes every worker op.
+        let max_prefill_ret = history
+            .ops
+            .iter()
+            .filter(|o| o.thread == 3)
+            .map(|o| o.ret_at)
+            .max()
+            .unwrap();
+        let min_worker_inv = history
+            .ops
+            .iter()
+            .filter(|o| o.thread < 3)
+            .map(|o| o.inv)
+            .min()
+            .unwrap();
+        assert!(
+            max_prefill_ret < min_worker_inv,
+            "prefill must precede workers"
+        );
+        citrus_api::lincheck::check_history(&history).expect("Citrus history must linearize");
     }
 
     #[test]

@@ -80,6 +80,62 @@ fn global_lock_eight_shards_agrees() {
     agreement_sweep::<GlobalLockRcu>(8, 0xF1_0008);
 }
 
+/// DESIGN.md §6e claims each shard owns a *private* grace-period domain —
+/// one shard's `synchronize_rcu` never waits on another shard's readers.
+/// This pins that independence directly: a reader sits pinned inside
+/// shard 0's read-side critical section for the whole duration of a
+/// `synchronize_rcu` on shard 1's domain. If the domains were secretly
+/// shared, the synchronize would wait on the pinned reader forever and
+/// the stress watchdog would reap the test with exit code 124.
+fn shard_grace_periods_are_independent<F: RcuFlavor>(test: &str) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let _watchdog = testkit::stress_watchdog(test);
+    let forest: CitrusForest<u64, u64, F> = CitrusForest::with_shards(4);
+    let pinned = AtomicBool::new(false);
+    let release = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (forest, pinned, release) = (&forest, &pinned, &release);
+        scope.spawn(move || {
+            let handle = forest.shard(0).rcu().register();
+            let guard = handle.read_lock();
+            pinned.store(true, Ordering::Release);
+            while !release.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            drop(guard);
+        });
+        while !pinned.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        // Reader is inside shard 0's read-side section. Shard 1's grace
+        // period must complete anyway.
+        let before = forest.shard(1).rcu().grace_periods();
+        let handle = forest.shard(1).rcu().register();
+        handle.synchronize();
+        assert!(
+            forest.shard(1).rcu().grace_periods() > before,
+            "shard 1 must run its own grace period"
+        );
+        assert_eq!(
+            forest.shard(0).rcu().grace_periods(),
+            0,
+            "shard 0's domain must not be driven by shard 1's synchronize"
+        );
+        release.store(true, Ordering::Release);
+    });
+}
+
+#[test]
+fn scalable_shard_grace_periods_are_independent() {
+    shard_grace_periods_are_independent::<ScalableRcu>("scalable_shard_gp_independent");
+}
+
+#[test]
+fn global_lock_shard_grace_periods_are_independent() {
+    shard_grace_periods_are_independent::<GlobalLockRcu>("global_lock_shard_gp_independent");
+}
+
 #[test]
 fn three_shards_rounds_up_to_four() {
     let forest: CitrusForest<u64, u64> = CitrusForest::with_shards(3);

@@ -183,10 +183,7 @@ fn harness_end_to_end_smoke() {
     let cfg = BenchConfig::smoke();
     let f8 = experiments::fig8(&cfg);
     assert_eq!(f8.series.len(), 3, "two tree flavors plus the forest");
-    assert!(f8
-        .series
-        .iter()
-        .all(|s| s.points.iter().all(|&p| p > 0.0)));
+    assert!(f8.series.iter().all(|s| s.points.iter().all(|&p| p > 0.0)));
     for r in experiments::fig9(&cfg) {
         assert!(r.series.iter().all(|s| s.points.iter().all(|&p| p > 0.0)));
     }
