@@ -1,0 +1,101 @@
+//! CI bench-regression gate: compares a freshly generated `BENCH_*.json`
+//! against the committed baseline and fails on throughput regressions.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [--threshold PCT]
+//! ```
+//!
+//! Rows are matched structurally (see `citrus_bench::gate`); a matched
+//! row fails when a throughput metric drops more than the threshold
+//! (default 30%, override with `--threshold` or `CITRUS_BENCH_GATE_PCT`)
+//! below its baseline. Exit status: 0 pass, 1 regression, 2 usage or
+//! parse error.
+//!
+//! The threshold is deliberately loose: CI runners are noisy and the
+//! smoke runs are short, so the gate is a tripwire for order-of-magnitude
+//! collapses (a serialized grace period back on the hot path), not a
+//! micro-benchmark referee.
+
+use citrus_bench::{benchjson, gate};
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: bench_gate <baseline.json> <fresh.json> [--threshold PCT]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> benchjson::Json {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => fail_usage(&format!("cannot read {path}: {e}")),
+    };
+    match benchjson::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => fail_usage(&format!("cannot parse {path}: {e}")),
+    }
+}
+
+fn main() {
+    let mut threshold = std::env::var("CITRUS_BENCH_GATE_PCT")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(gate::DEFAULT_MAX_DROP_PCT);
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(pct) => threshold = pct,
+                None => fail_usage("--threshold requires a numeric percentage"),
+            },
+            other => {
+                if let Some(value) = other.strip_prefix("--threshold=") {
+                    match value.parse() {
+                        Ok(pct) => threshold = pct,
+                        Err(_) => fail_usage("--threshold requires a numeric percentage"),
+                    }
+                } else if other.starts_with("--") {
+                    fail_usage(&format!("unknown flag `{other}`"));
+                } else {
+                    paths.push(other.to_string());
+                }
+            }
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        fail_usage("expected exactly two file arguments");
+    };
+    if !(0.0..100.0).contains(&threshold) {
+        fail_usage(&format!("threshold {threshold} out of range [0, 100)"));
+    }
+
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    let report = gate::check(&baseline, &fresh, threshold);
+
+    println!(
+        "bench gate: {} metric(s) compared against {baseline_path} (threshold {threshold}%)",
+        report.compared
+    );
+    for row in &report.missing {
+        println!("  note: baseline row has no fresh counterpart: {row}");
+    }
+    if report.compared == 0 {
+        // An empty comparison would make the gate vacuous — treat a
+        // baseline/fresh pair with no matching rows as a wiring error.
+        eprintln!("bench gate: no rows matched between the two documents");
+        std::process::exit(1);
+    }
+    if report.passed() {
+        println!("bench gate: PASS");
+    } else {
+        for r in &report.regressions {
+            eprintln!("  REGRESSION: {r}");
+        }
+        eprintln!(
+            "bench gate: FAIL ({} regression(s))",
+            report.regressions.len()
+        );
+        std::process::exit(1);
+    }
+}

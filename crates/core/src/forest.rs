@@ -141,9 +141,11 @@ pub struct CitrusForest<K, V, F: RcuFlavor = ScalableRcu> {
     metrics: ForestMetrics,
 }
 
-impl<K, V, F: RcuFlavor> CitrusForest<K, V, F> {
+impl<K: Send + Sync, V: Send + Sync, F: RcuFlavor> CitrusForest<K, V, F> {
     /// Creates a forest with the default shard count (8) and
-    /// [`ReclaimMode::Epoch`].
+    /// [`ReclaimMode::Epoch`]. Two-child deletes defer their unlink per
+    /// the `CITRUS_DEFERRED_FREE` environment knob
+    /// ([`citrus_reclaim::deferred_free_from_env`]).
     #[must_use]
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
@@ -165,18 +167,33 @@ impl<K, V, F: RcuFlavor> CitrusForest<K, V, F> {
         Self::with_config(n, seed, ReclaimMode::default())
     }
 
-    /// Fully explicit constructor: shard count (rounded up to a power of
-    /// two), sharding seed, and reclamation mode for every shard.
+    /// Explicit constructor: shard count (rounded up to a power of two),
+    /// sharding seed, and reclamation mode for every shard (deferred
+    /// unlinking still per `CITRUS_DEFERRED_FREE`).
     #[must_use]
     pub fn with_config(n: usize, seed: u64, mode: ReclaimMode) -> Self {
+        Self::with_options(n, seed, mode, citrus_reclaim::deferred_free_from_env())
+    }
+
+    /// Fully explicit constructor: additionally pins whether every shard's
+    /// two-child deletes defer their unlink to the shard's own `call_rcu`
+    /// batch (`deferred = true`) or synchronize inline. Each shard gets a
+    /// **private** deferred domain — its batches wait only on the shard's
+    /// own grace periods, preserving shard independence.
+    #[must_use]
+    pub fn with_options(n: usize, seed: u64, mode: ReclaimMode, deferred: bool) -> Self {
         let n = n.max(1).next_power_of_two();
         Self {
-            shards: (0..n).map(|_| CitrusTree::with_reclaim(mode)).collect(),
+            shards: (0..n)
+                .map(|_| CitrusTree::with_options(F::new(), mode, deferred))
+                .collect(),
             seed,
             metrics: ForestMetrics::new(n),
         }
     }
+}
 
+impl<K, V, F: RcuFlavor> CitrusForest<K, V, F> {
     /// Number of shards (a power of two).
     #[must_use]
     pub fn shard_count(&self) -> usize {
@@ -209,6 +226,32 @@ impl<K, V, F: RcuFlavor> CitrusForest<K, V, F> {
     #[must_use]
     pub fn reclaim_mode(&self) -> ReclaimMode {
         self.shards[0].reclaim_mode()
+    }
+
+    /// Whether the shards defer two-child-delete unlinks to per-shard
+    /// `call_rcu` batches (identical across shards).
+    #[must_use]
+    pub fn deferred_free(&self) -> bool {
+        self.shards[0].deferred_free()
+    }
+
+    /// Runs every shard's pending deferred unlinks to completion (no-op
+    /// in inline mode). Shards flush independently: shard A's drain waits
+    /// only on A's private grace periods.
+    pub fn flush_deferred(&self) {
+        for shard in self.shards.iter() {
+            shard.flush_deferred();
+        }
+    }
+
+    /// Deferred unlinks enqueued by each shard (tree metrics; all zeros
+    /// with stats off).
+    #[must_use]
+    pub fn deferred_unlinks_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|t| t.metrics().deferred_unlinks())
+            .collect()
     }
 
     /// Total removed nodes already freed across all shards:
@@ -352,7 +395,7 @@ where
     }
 }
 
-impl<K, V, F: RcuFlavor> Default for CitrusForest<K, V, F> {
+impl<K: Send + Sync, V: Send + Sync, F: RcuFlavor> Default for CitrusForest<K, V, F> {
     fn default() -> Self {
         Self::new()
     }

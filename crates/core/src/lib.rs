@@ -75,6 +75,7 @@ mod tree;
 
 pub use checks::{InvariantViolation, TreeStats};
 pub use citrus_rcu::{GlobalLockRcu, RcuFlavor, ScalableRcu};
+pub use citrus_reclaim::deferred_free_from_env;
 pub use forest::{CitrusForest, ForestMetrics, ForestSession};
 pub use metrics::TreeMetrics;
 pub use tree::{CitrusSession, CitrusTree, ReclaimMode, SessionStats};
@@ -167,11 +168,14 @@ mod tests {
             s.insert(k, k * 100);
         }
         let sync_before = s.stats().synchronize_calls();
+        let defer_before = s.stats().deferred_unlinks();
         assert!(s.remove(&10));
+        // Inline mode pays one synchronize_rcu; deferred mode enqueues one
+        // unlink record instead (CITRUS_DEFERRED_FREE picks the mode).
         assert_eq!(
-            s.stats().synchronize_calls(),
-            sync_before + 1,
-            "two-child delete must synchronize_rcu exactly once"
+            s.stats().synchronize_calls() + s.stats().deferred_unlinks(),
+            sync_before + defer_before + 1,
+            "two-child delete must synchronize inline or defer its unlink, exactly once"
         );
         for k in [5, 20, 15, 12, 17] {
             assert_eq!(s.get(&k), Some(k * 100), "key {k} lost by successor move");

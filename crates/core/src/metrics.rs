@@ -44,6 +44,7 @@ pub struct TreeMetrics {
     remove_retries: Counter,
     lock_acquisitions: Counter,
     synchronize_calls: Counter,
+    deferred_unlinks: Counter,
     /// Round-robin stripe allocator for sessions (cold path: one
     /// `fetch_add` per [`session`](crate::CitrusTree::session)).
     next_stripe: AtomicUsize,
@@ -56,6 +57,7 @@ impl TreeMetrics {
             remove_retries: Counter::new(STRIPES),
             lock_acquisitions: Counter::new(STRIPES),
             synchronize_calls: Counter::new(STRIPES),
+            deferred_unlinks: Counter::new(STRIPES),
             next_stripe: AtomicUsize::new(0),
         }
     }
@@ -89,6 +91,13 @@ impl TreeMetrics {
         self.synchronize_calls.incr(stripe);
     }
 
+    /// Records a two-child delete that deferred its unlink instead of
+    /// synchronizing inline (DESIGN.md §6g).
+    #[inline]
+    pub(crate) fn record_deferred_unlink(&self, stripe: usize) {
+        self.deferred_unlinks.incr(stripe);
+    }
+
     /// Total `insert` validation restarts across sessions
     /// (`0` with stats off).
     #[must_use]
@@ -117,11 +126,19 @@ impl TreeMetrics {
         self.synchronize_calls.get()
     }
 
+    /// Total two-child deletes that deferred their unlink
+    /// (`0` with stats off).
+    #[must_use]
+    pub fn deferred_unlinks(&self) -> u64 {
+        self.deferred_unlinks.get()
+    }
+
     /// Registers this tree's instruments under `component`.
     pub fn register_into(&self, registry: &MetricsRegistry, component: &str) {
         registry.register_counter(component, "insert_retries", &self.insert_retries);
         registry.register_counter(component, "remove_retries", &self.remove_retries);
         registry.register_counter(component, "lock_acquisitions", &self.lock_acquisitions);
         registry.register_counter(component, "synchronize_calls", &self.synchronize_calls);
+        registry.register_counter(component, "deferred_unlinks", &self.deferred_unlinks);
     }
 }

@@ -9,11 +9,19 @@ use std::sync::Barrier;
 
 type Tree = CitrusTree<u64, u64, ScalableRcu>;
 
+/// A tree pinned to the paper's **inline** `synchronize_rcu` (line 74),
+/// regardless of the `CITRUS_DEFERRED_FREE` environment: the tests below
+/// assert line-74 accounting, which deferred mode deliberately changes
+/// (covered by `deferred_reclaim.rs` instead).
+fn inline_tree() -> Tree {
+    Tree::with_options(ScalableRcu::new(), ReclaimMode::Epoch, false)
+}
+
 /// One synchronize_rcu per two-child delete; none for leaf/one-child
 /// deletes or inserts (paper: line 74 is the only synchronize call).
 #[test]
 fn synchronize_only_on_two_child_deletes() {
-    let tree = Tree::new();
+    let tree = inline_tree();
     let mut s = tree.session();
 
     for k in [50, 25, 75, 12, 37, 62, 87] {
@@ -54,7 +62,7 @@ fn synchronize_only_on_two_child_deletes() {
 /// successful two-child deletes across all sessions.
 #[test]
 fn grace_periods_track_successor_moves() {
-    let tree = Tree::new();
+    let tree = inline_tree();
     let mut moves = 0;
     {
         let mut s = tree.session();
@@ -196,7 +204,7 @@ fn degenerate_chains_work() {
 /// Session statistics are independent across sessions of the same tree.
 #[test]
 fn session_stats_are_per_session() {
-    let tree = Tree::new();
+    let tree = inline_tree();
     let mut a = tree.session();
     let mut b = tree.session();
     for k in [10, 5, 20, 15, 25] {

@@ -45,12 +45,13 @@ fn grace_periods_cover_two_child_deletes_scalable() {
         (ScalableRcu::NAME, "synchronize_calls"),
         ("citrus", "synchronize_calls"),
     );
-    // The workload is churny enough that two-child deletes must occur.
+    // The workload is churny enough that two-child deletes must occur —
+    // counted inline (synchronize_calls) or deferred (deferred_unlinks),
+    // depending on CITRUS_DEFERRED_FREE.
     if !snap.is_empty() {
-        assert!(
-            snap.counter("citrus", "synchronize_calls").unwrap() > 0,
-            "workload produced no two-child deletes"
-        );
+        let two_child = snap.counter("citrus", "synchronize_calls").unwrap()
+            + snap.counter("citrus", "deferred_unlinks").unwrap();
+        assert!(two_child > 0, "workload produced no two-child deletes");
     }
 }
 

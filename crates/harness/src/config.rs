@@ -18,6 +18,7 @@ use std::time::Duration;
 /// | `CITRUS_RANGE_LARGE` | large key range | 200000 | 2000000 |
 /// | `CITRUS_SHARDS` | comma-separated forest shard counts | `1,2,4,8` | — |
 /// | `CITRUS_METRICS` | attach internal-metrics sections to reports | unset | — |
+/// | `CITRUS_DEFERRED_FREE` | defer two-child-delete unlinks to `call_rcu` batches (`1`/`true`/`yes`) in env-driven constructors; the forest sweep A/Bs both modes regardless | unset | — |
 ///
 /// Metric collection also requires the `stats` feature (on by default in
 /// `citrus-bench`); without it the metrics sections are empty.

@@ -83,6 +83,7 @@ pub fn fig8(cfg: &BenchConfig) -> Report {
             run_forest_observed::<ScalableRcu>(
                 forest_shards,
                 ReclaimMode::Leak,
+                citrus::deferred_free_from_env(),
                 &spec,
                 cfg.reps,
                 0x816,
@@ -100,7 +101,8 @@ pub fn fig8(cfg: &BenchConfig) -> Report {
 }
 
 /// One cell of the [`forest_sweep`] grid: one `(flavor, shard count,
-/// operation mix)` combination at the configured maximum thread count.
+/// operation mix, reclamation mode)` combination at the configured
+/// maximum thread count.
 #[derive(Debug, Clone)]
 pub struct ForestCell {
     /// RCU flavor name (`RcuFlavor::NAME`).
@@ -111,15 +113,19 @@ pub struct ForestCell {
     pub contains_pct: u32,
     /// Worker thread count.
     pub threads: usize,
+    /// Whether two-child deletes deferred their unlink (`call_rcu`
+    /// batches) instead of synchronizing inline.
+    pub deferred: bool,
     /// The timed run's result, including per-shard counters.
     pub run: ForestRun,
 }
 
 /// The forest shard sweep: `shards ∈ cfg.shards × update ratio
-/// {50%, 100%} × RCU flavor {scalable, global-lock}`, all at the
-/// configured maximum thread count — the experiment behind
-/// `BENCH_forest.json`, quantifying the speedup from per-shard
-/// grace-period domains.
+/// {50%, 100%} × RCU flavor {scalable, global-lock} × unlink mode
+/// {inline, deferred}`, all at the configured maximum thread count — the
+/// experiment behind `BENCH_forest.json`, quantifying the speedup from
+/// per-shard grace-period domains and from taking the grace-period wait
+/// off the delete path entirely.
 pub fn forest_sweep(cfg: &BenchConfig) -> Vec<ForestCell> {
     let threads = cfg.threads.iter().copied().max().unwrap_or(1);
     let mut cells = Vec::new();
@@ -129,35 +135,40 @@ pub fn forest_sweep(cfg: &BenchConfig) -> Vec<ForestCell> {
             let shards = shards.next_power_of_two();
             let spec = WorkloadSpec::new(cfg.range_small, mix, threads, cfg.duration);
             for flavor in [ScalableRcu::NAME, GlobalLockRcu::NAME] {
-                // Leak mode, matching the paper's no-reclamation
-                // methodology (and the fig8 tree series), so the sweep
-                // isolates grace-period effects from reclamation cost.
-                let run = if flavor == ScalableRcu::NAME {
-                    run_forest_observed::<ScalableRcu>(
+                for deferred in [false, true] {
+                    // Leak mode, matching the paper's no-reclamation
+                    // methodology (and the fig8 tree series), so the sweep
+                    // isolates grace-period effects from reclamation cost.
+                    let run = if flavor == ScalableRcu::NAME {
+                        run_forest_observed::<ScalableRcu>(
+                            shards,
+                            ReclaimMode::Leak,
+                            deferred,
+                            &spec,
+                            cfg.reps,
+                            0xF04E,
+                            None,
+                        )
+                    } else {
+                        run_forest_observed::<GlobalLockRcu>(
+                            shards,
+                            ReclaimMode::Leak,
+                            deferred,
+                            &spec,
+                            cfg.reps,
+                            0xF04E,
+                            None,
+                        )
+                    };
+                    cells.push(ForestCell {
+                        flavor,
                         shards,
-                        ReclaimMode::Leak,
-                        &spec,
-                        cfg.reps,
-                        0xF04E,
-                        None,
-                    )
-                } else {
-                    run_forest_observed::<GlobalLockRcu>(
-                        shards,
-                        ReclaimMode::Leak,
-                        &spec,
-                        cfg.reps,
-                        0xF04E,
-                        None,
-                    )
-                };
-                cells.push(ForestCell {
-                    flavor,
-                    shards,
-                    contains_pct,
-                    threads,
-                    run,
-                });
+                        contains_pct,
+                        threads,
+                        deferred,
+                        run,
+                    });
+                }
             }
         }
     }
@@ -262,12 +273,17 @@ mod tests {
         let mut cfg = BenchConfig::smoke();
         cfg.shards = vec![1, 2];
         let cells = forest_sweep(&cfg);
-        assert_eq!(cells.len(), 8, "2 mixes × 2 shard counts × 2 flavors");
+        assert_eq!(
+            cells.len(),
+            16,
+            "2 mixes × 2 shard counts × 2 flavors × 2 unlink modes"
+        );
         for cell in &cells {
             assert!(cell.run.ops_per_s > 0.0);
             assert_eq!(cell.run.grace_periods_per_shard.len(), cell.shards);
             assert_eq!(cell.threads, 2);
         }
+        assert_eq!(cells.iter().filter(|c| c.deferred).count(), 8);
     }
 
     #[test]

@@ -378,11 +378,15 @@ pub struct ForestRun {
 /// Like [`run_algo_observed`] for a [`CitrusForest`] over flavor `F`:
 /// builds a fresh forest with `shards` shards per repetition, runs the
 /// workload, and reports mean throughput plus the last repetition's
-/// per-shard counters. The last repetition registers its metrics into
-/// `observer` (with per-shard component labels) when given.
+/// per-shard counters. `deferred` pins whether two-child deletes defer
+/// their unlink to per-shard `call_rcu` batches or synchronize inline
+/// (the A/B axis of the deferred-free sweep). The last repetition
+/// registers its metrics into `observer` (with per-shard component
+/// labels) when given.
 pub fn run_forest_observed<F: RcuFlavor>(
     shards: usize,
     mode: ReclaimMode,
+    deferred: bool,
     spec: &WorkloadSpec,
     reps: usize,
     seed: u64,
@@ -395,7 +399,8 @@ pub fn run_forest_observed<F: RcuFlavor>(
         let rep_seed = seed ^ (rep as u64) << 32;
         // Fresh structure per repetition, as in the paper. Sharding seed 0
         // keeps routing identical across flavors and repetitions.
-        let forest: CitrusForest<u64, u64, F> = CitrusForest::with_config(shards, 0, mode);
+        let forest: CitrusForest<u64, u64, F> =
+            CitrusForest::with_options(shards, 0, mode, deferred);
         if rep + 1 == reps {
             if let Some((registry, prefix)) = observer {
                 forest.register_metrics_prefixed(registry, prefix);
@@ -581,16 +586,26 @@ mod tests {
     #[test]
     fn forest_run_reports_per_shard_counters() {
         let spec = WorkloadSpec::new(400, OpMix::with_contains(50), 2, Duration::from_millis(30));
-        let r = run_forest_observed::<ScalableRcu>(4, ReclaimMode::Epoch, &spec, 1, 17, None);
-        assert!(r.ops_per_s > 0.0);
-        assert_eq!(r.sync_calls_per_shard.len(), 4);
-        assert_eq!(r.grace_periods_per_shard.len(), 4);
-        assert_eq!(r.occupancy.len(), 4);
-        assert!(
-            r.occupancy.iter().filter(|&&n| n > 0).count() >= 2,
-            "uniform keys should populate most shards: {:?}",
-            r.occupancy
-        );
+        for deferred in [false, true] {
+            let r = run_forest_observed::<ScalableRcu>(
+                4,
+                ReclaimMode::Epoch,
+                deferred,
+                &spec,
+                1,
+                17,
+                None,
+            );
+            assert!(r.ops_per_s > 0.0);
+            assert_eq!(r.sync_calls_per_shard.len(), 4);
+            assert_eq!(r.grace_periods_per_shard.len(), 4);
+            assert_eq!(r.occupancy.len(), 4);
+            assert!(
+                r.occupancy.iter().filter(|&&n| n > 0).count() >= 2,
+                "uniform keys should populate most shards: {:?}",
+                r.occupancy
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,593 @@
+//! `call_rcu`-style deferred reclamation: a per-domain retirement queue
+//! whose batches are waited out by **one shared grace period** each.
+//!
+//! The paper's two-child `delete` calls `synchronize_rcu` inline, so every
+//! such delete pays a full grace period. The kernel's answer is
+//! `call_rcu`: enqueue a callback, let a grace-period machine run it once
+//! all pre-existing readers are done, and amortize one grace period over
+//! an arbitrary batch of callbacks (oscarlab/versioning's `rcu_free` does
+//! the same in user space with `URCU_MAX_FREE_PTRS`-sized batches).
+//!
+//! [`CallRcu`] is that machine for this repository:
+//!
+//! * [`defer`](CallRcu::defer) enqueues a type-erased callback; the
+//!   convenience wrapper [`retire`](CallRcu::retire) enqueues a
+//!   `Box::from_raw` drop.
+//! * A batch is executed by [`flush`](CallRcu::flush): take the whole
+//!   queue, call `synchronize_rcu` **once**, run every callback. Flushes
+//!   from different threads take disjoint batches and synchronize
+//!   concurrently, so grace-period sharing (DESIGN.md §6d) lets them
+//!   piggyback on one reader scan.
+//! * A background worker thread parks while the queue is empty (an idle
+//!   domain costs nothing), wakes on the first enqueue or at the batch
+//!   threshold, lets the batch build for one short interval, and flushes
+//!   it whole — so enqueuing threads almost never wait on a grace period
+//!   themselves, a callback holding resources (the tree's deferred
+//!   unlink records keep two node locks frozen) runs within roughly the
+//!   interval plus one grace period, and sustained load is amortized to
+//!   at most a few flushes per millisecond rather than one per
+//!   callback. A high-watermark backpressure flush (8× the threshold)
+//!   bounds queue growth if the worker falls behind.
+//! * `Drop` shuts the worker down cleanly and runs every remaining
+//!   callback after a final grace period — nothing is leaked and no
+//!   callback is dropped unexecuted.
+//!
+//! # Safety model
+//!
+//! The enqueued callback runs on an arbitrary thread (the worker, a
+//! flushing enqueuer, or the dropping thread), strictly **after** a grace
+//! period that covers every read-side critical section existing at
+//! enqueue time. Callers must ensure the payload may cross threads and
+//! that running the callback once is sound at that point — the same
+//! contract as the kernel's `call_rcu`.
+
+use crate::metrics::STRIPES;
+use citrus_chaos as chaos;
+use citrus_obs::{Counter, HistogramSnapshot, Log2Histogram, MetricsRegistry};
+use citrus_rcu::{RcuFlavor, RcuHandle};
+use citrus_sync::SpinMutex;
+use core::fmt;
+use core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::{JoinHandle, Thread};
+use std::time::Duration;
+
+/// A type-erased deferred callback: `run(data)` is invoked exactly once
+/// after a grace period.
+struct DeferredItem {
+    data: *mut u8,
+    run: unsafe fn(*mut u8),
+}
+
+// SAFETY: enqueued payloads are owned by the queue until their callback
+// runs; `defer`'s contract requires them to be sendable across threads.
+unsafe impl Send for DeferredItem {}
+
+/// Configuration for a [`CallRcu`] domain.
+#[derive(Debug, Clone)]
+pub struct CallRcuConfig {
+    /// Queue length at which the background worker is woken to flush
+    /// (enqueuers themselves flush only at 8× this, as backpressure).
+    pub batch_threshold: usize,
+    /// The batch-build delay: once woken over a nonempty queue, the
+    /// worker waits this long before flushing, so a burst of enqueues
+    /// lands in one batch (one grace period, one worker wakeup) instead
+    /// of one each. A threshold unpark cuts the wait short. Together
+    /// with `wake_on_first` this bounds a lone callback's latency at
+    /// roughly one scheduling hop plus this delay plus a grace period.
+    pub worker_interval: Duration,
+    /// Wake the worker on the empty→nonempty queue transition (one
+    /// `unpark` per batch, not per enqueue). An idle worker parks
+    /// indefinitely — it costs nothing — so with this off, nothing
+    /// flushes until the batch threshold is crossed or the domain is
+    /// dropped: the fully-manual mode the lifecycle tests use. Keep it
+    /// on for payloads that hold resources until they run — the tree's
+    /// deferred unlink records keep two node locks frozen.
+    pub wake_on_first: bool,
+    /// At the batch threshold, flush on the **enqueuing** thread (the
+    /// userspace-RCU `rcu_free`/`URCU_MAX_FREE_PTRS` pattern) instead of
+    /// unparking the worker. The enqueuer pays one grace period per
+    /// `batch_threshold` callbacks — amortized noise — and the steady
+    /// state needs no worker handoff at all, which matters when cores
+    /// are scarce: a worker wakeup is two context switches that the
+    /// enqueuer-paid grace period (mostly yielding) does not cost. The
+    /// worker still catches stragglers via `wake_on_first`. Off by
+    /// default: enqueuers that cannot tolerate a grace-period wait at
+    /// all (latency-critical paths) keep the worker handoff.
+    pub eager_flush: bool,
+}
+
+impl Default for CallRcuConfig {
+    fn default() -> Self {
+        Self {
+            batch_threshold: 128,
+            worker_interval: Duration::from_millis(1),
+            wake_on_first: true,
+            eager_flush: false,
+        }
+    }
+}
+
+/// Metrics kept by every [`CallRcu`] domain; no-ops unless the crate is
+/// built with the `stats` feature.
+#[derive(Debug)]
+pub struct DeferredMetrics {
+    /// Callbacks enqueued.
+    retired: Counter,
+    /// Flush batches executed (one shared grace period each).
+    batches: Counter,
+    /// Distribution of callbacks per flush batch.
+    batch_size: Log2Histogram,
+    /// Callbacks executed (frees, for the retire path).
+    freed: Counter,
+}
+
+impl DeferredMetrics {
+    fn new() -> Self {
+        Self {
+            retired: Counter::new(STRIPES),
+            batches: Counter::new(STRIPES),
+            batch_size: Log2Histogram::new(),
+            freed: Counter::new(STRIPES),
+        }
+    }
+
+    /// Callbacks enqueued so far (`0` with stats off).
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired.get()
+    }
+
+    /// Flush batches executed so far (`0` with stats off).
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches.get()
+    }
+
+    /// Distribution of batch sizes (empty with stats off).
+    #[must_use]
+    pub fn batch_size(&self) -> HistogramSnapshot {
+        self.batch_size.snapshot()
+    }
+
+    /// Callbacks executed so far (`0` with stats off).
+    #[must_use]
+    pub fn freed(&self) -> u64 {
+        self.freed.get()
+    }
+
+    /// Registers this domain's instruments under `component`.
+    pub fn register_into(&self, registry: &MetricsRegistry, component: &str) {
+        registry.register_counter(component, "deferred_retired", &self.retired);
+        registry.register_counter(component, "flush_batches", &self.batches);
+        registry.register_histogram(component, "flush_batch_size", &self.batch_size);
+        registry.register_counter(component, "deferred_freed", &self.freed);
+    }
+}
+
+/// State shared between the domain handle, enqueuers, and the worker.
+struct Shared<F: RcuFlavor> {
+    rcu: Arc<F>,
+    queue: SpinMutex<Vec<DeferredItem>>,
+    /// Batches currently between "taken from the queue" and "callbacks
+    /// done" — [`drain`](CallRcu::drain) waits for these too.
+    in_flight: AtomicUsize,
+    shutdown: AtomicBool,
+    batch_threshold: usize,
+    wake_on_first: bool,
+    eager_flush: bool,
+    /// The worker's thread handle, for threshold wakeups.
+    worker_thread: OnceLock<Thread>,
+    /// Always-on diagnostics (independent of the `stats` feature).
+    batches: AtomicU64,
+    executed: AtomicU64,
+    metrics: DeferredMetrics,
+}
+
+impl<F: RcuFlavor> Shared<F> {
+    fn queue_len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Takes the whole queue, waits out one grace period, runs the batch.
+    fn flush(&self) -> usize {
+        let batch: Vec<DeferredItem> = {
+            let mut queue = self.queue.lock();
+            if queue.is_empty() {
+                return 0;
+            }
+            std::mem::take(&mut *queue)
+        };
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        // A thread paused here has claimed callbacks that nothing else
+        // can run until it proceeds — `drain` must wait for it.
+        chaos::point("reclaim/flush/before-synchronize");
+        {
+            // One grace period covers the whole batch. Concurrent flushes
+            // synchronize on the same domain and piggyback via
+            // grace-period sharing instead of scanning again.
+            let handle = self.rcu.register();
+            handle.synchronize();
+        }
+        chaos::point("reclaim/flush/after-synchronize");
+        let n = batch.len();
+        for item in batch {
+            // SAFETY: a grace period elapsed since enqueue; `defer`'s
+            // contract makes running each callback once sound now.
+            unsafe { (item.run)(item.data) };
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.executed.fetch_add(n as u64, Ordering::Relaxed);
+        self.metrics.batches.incr(0);
+        self.metrics.batch_size.record(n as u64);
+        self.metrics.freed.add(0, n as u64);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        n
+    }
+}
+
+/// A `call_rcu`-style deferred-reclamation domain over RCU flavor `F`.
+///
+/// See the [module docs](self) for the batching and worker design. One
+/// domain serves one RCU domain: the grace periods it waits out are the
+/// ones of the [`RcuFlavor`] instance it was built over.
+///
+/// # Example
+///
+/// ```
+/// use citrus_rcu::ScalableRcu;
+/// use citrus_reclaim::CallRcu;
+/// use std::sync::Arc;
+///
+/// let rcu = Arc::new(ScalableRcu::new());
+/// let deferred = CallRcu::new(Arc::clone(&rcu));
+/// let p = Box::into_raw(Box::new(7u64));
+/// // SAFETY: `p` is unlinked, exclusively owned, and sendable.
+/// unsafe { deferred.retire(p) };
+/// assert_eq!(deferred.pending(), 1);
+/// deferred.flush(); // one grace period, then the Box is dropped
+/// assert_eq!(deferred.pending(), 0);
+/// ```
+pub struct CallRcu<F: RcuFlavor> {
+    shared: Arc<Shared<F>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl<F: RcuFlavor> CallRcu<F> {
+    /// Creates a domain over `rcu` with the default configuration and
+    /// spawns its background grace-period worker.
+    #[must_use]
+    pub fn new(rcu: Arc<F>) -> Self {
+        Self::with_config(rcu, CallRcuConfig::default())
+    }
+
+    /// Creates a domain with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread cannot be spawned.
+    #[must_use]
+    pub fn with_config(rcu: Arc<F>, config: CallRcuConfig) -> Self {
+        let shared = Arc::new(Shared {
+            rcu,
+            queue: SpinMutex::new(Vec::new()),
+            in_flight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            batch_threshold: config.batch_threshold.max(1),
+            wake_on_first: config.wake_on_first,
+            eager_flush: config.eager_flush,
+            worker_thread: OnceLock::new(),
+            batches: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            metrics: DeferredMetrics::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let interval = config.worker_interval;
+        let worker = std::thread::Builder::new()
+            .name("citrus-call-rcu".into())
+            .spawn(move || {
+                // Deterministic chaos decisions for the worker regardless
+                // of spawn order.
+                chaos::set_thread_stream(0xDEFE);
+                loop {
+                    if worker_shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if worker_shared.queue_len() == 0 {
+                        // Idle: costs nothing until an enqueue
+                        // (`wake_on_first` / threshold) or shutdown
+                        // unparks us. Spurious wakeups just re-loop.
+                        std::thread::park();
+                        continue;
+                    }
+                    // Nonempty: give the batch one interval to build
+                    // (a threshold unpark cuts this short under bursts),
+                    // then take it all behind a single grace period.
+                    std::thread::park_timeout(interval);
+                    chaos::point("reclaim/worker/tick");
+                    // A chaos plan can starve the worker to force the
+                    // backpressure/drain paths.
+                    if !chaos::should_fail("reclaim/worker/skip-tick") {
+                        worker_shared.flush();
+                    }
+                }
+            })
+            .expect("spawning the call_rcu worker thread");
+        shared
+            .worker_thread
+            .set(worker.thread().clone())
+            .expect("worker thread handle set once");
+        Self {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues `run(data)` to be executed, exactly once and on an
+    /// arbitrary thread, after a grace period covering every read-side
+    /// critical section that exists now.
+    ///
+    /// Never waits for a grace period itself unless the queue has grown
+    /// past the backpressure watermark (8× the batch threshold) — or, in
+    /// [`eager_flush`](CallRcuConfig::eager_flush) mode, to the batch
+    /// threshold itself, where the enqueuer flushes in place rather than
+    /// waking the worker.
+    ///
+    /// # Safety
+    ///
+    /// * `data` must remain valid until `run(data)` is called, and
+    ///   `run(data)` must fully consume it (free it or transfer
+    ///   ownership) — it is called exactly once.
+    /// * The payload crosses threads: the caller must guarantee that is
+    ///   sound (`Send`-ness of whatever `data` points to).
+    /// * `run` must not call back into this domain's `flush`/`drain`.
+    pub unsafe fn defer(&self, data: *mut u8, run: unsafe fn(*mut u8)) {
+        chaos::point("reclaim/defer/enqueue");
+        let len = {
+            let mut queue = self.shared.queue.lock();
+            queue.push(DeferredItem { data, run });
+            queue.len()
+        };
+        self.shared.metrics.retired.incr(0);
+        // Eager mode: at the threshold the enqueuer takes the batch
+        // itself — one shared grace period per `batch_threshold`
+        // callbacks and zero worker handoffs in the steady state. The
+        // worker stays responsible only for stragglers (`wake_on_first`).
+        if self.shared.eager_flush && len >= self.shared.batch_threshold {
+            self.shared.flush();
+            return;
+        }
+        // Threshold reached, or (with `wake_on_first`) the queue just went
+        // nonempty: either way the worker should flush soon. Between the
+        // two, the queue stays nonempty and the worker is already awake,
+        // so no further unparks are needed.
+        if len >= self.shared.batch_threshold || (len == 1 && self.shared.wake_on_first) {
+            if let Some(worker) = self.shared.worker_thread.get() {
+                worker.unpark();
+            }
+        }
+        // Backpressure: if the worker cannot keep up, the enqueuer pays
+        // for one (shared) grace period — amortized over 8× threshold
+        // retirements, the snippet-3 `URCU_MAX_FREE_PTRS` pattern.
+        if len >= self.shared.batch_threshold.saturating_mul(8) {
+            self.shared.flush();
+        }
+    }
+
+    /// Enqueues a deferred `drop(Box::from_raw(ptr))`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from `Box::<T>::into_raw`, be exclusively owned by
+    /// the caller (unlinked from every shared structure), and `T: Send`
+    /// in spirit: the drop may run on another thread.
+    pub unsafe fn retire<T>(&self, ptr: *mut T) {
+        unsafe fn drop_box<T>(p: *mut u8) {
+            // SAFETY: `p` was created from `Box::into_raw` of a `T`.
+            drop(unsafe { Box::from_raw(p.cast::<T>()) });
+        }
+        // SAFETY: forwarded to the caller's contract.
+        unsafe { self.defer(ptr.cast(), drop_box::<T>) };
+    }
+
+    /// Takes the current queue, waits out **one** grace period, and runs
+    /// the batch on the calling thread. Returns how many callbacks ran
+    /// (`0` for an empty queue — no grace period is paid then).
+    pub fn flush(&self) -> usize {
+        self.shared.flush()
+    }
+
+    /// Flushes until the queue is empty **and** no concurrent flush still
+    /// holds an unexecuted batch. On return every callback enqueued
+    /// before the call has run (assuming no concurrent enqueuers).
+    pub fn drain(&self) {
+        loop {
+            self.shared.flush();
+            if self.shared.queue_len() == 0 && self.shared.in_flight.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Callbacks currently queued (not counting in-flight batches).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shared.queue_len()
+    }
+
+    /// Flush batches executed so far (always-on diagnostics; each batch
+    /// paid one shared grace period).
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.shared.batches.load(Ordering::Relaxed)
+    }
+
+    /// Callbacks executed so far (always-on diagnostics).
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// This domain's metric instruments (no-ops unless the crate is
+    /// built with the `stats` feature).
+    #[must_use]
+    pub fn metrics(&self) -> &DeferredMetrics {
+        &self.shared.metrics
+    }
+}
+
+impl<F: RcuFlavor> Drop for CallRcu<F> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(worker) = self.worker.take() {
+            worker.thread().unpark();
+            let _ = worker.join();
+        }
+        // The worker is gone; run everything still queued. Callbacks hold
+        // resources (retired nodes, transferred locks), so they must run,
+        // not leak. `flush` still pays the grace period: the owner
+        // dropping the domain does not prove other threads' readers are
+        // done.
+        while self.shared.flush() > 0 {}
+    }
+}
+
+impl<F: RcuFlavor> fmt::Debug for CallRcu<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CallRcu")
+            .field("rcu", &F::NAME)
+            .field("pending", &self.pending())
+            .field("batches", &self.batches())
+            .field("executed", &self.executed())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citrus_rcu::ScalableRcu;
+    use core::sync::atomic::AtomicU64;
+
+    struct Canary<'a>(&'a AtomicU64);
+
+    impl Drop for Canary<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn flush_runs_every_callback_once() {
+        let drops = AtomicU64::new(0);
+        let deferred = CallRcu::new(Arc::new(ScalableRcu::new()));
+        for _ in 0..10 {
+            let p = Box::into_raw(Box::new(Canary(&drops)));
+            // SAFETY: owned, sendable, freed exactly once by the callback.
+            unsafe { deferred.retire(p) };
+        }
+        let before = deferred.batches();
+        deferred.drain();
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+        assert!(deferred.batches() > before);
+        assert_eq!(deferred.executed(), 10);
+        assert_eq!(deferred.pending(), 0);
+        drop(deferred);
+        assert_eq!(drops.load(Ordering::SeqCst), 10, "no double free on drop");
+    }
+
+    #[test]
+    fn empty_flush_pays_no_grace_period() {
+        let rcu = Arc::new(ScalableRcu::new());
+        let deferred = CallRcu::new(Arc::clone(&rcu));
+        let before = rcu.grace_periods();
+        assert_eq!(deferred.flush(), 0);
+        assert_eq!(rcu.grace_periods(), before);
+    }
+
+    #[test]
+    fn one_batch_means_one_shared_grace_period_window() {
+        let rcu = Arc::new(ScalableRcu::new());
+        // A huge threshold and long interval: nothing flushes until we do.
+        let deferred = CallRcu::with_config(
+            Arc::clone(&rcu),
+            CallRcuConfig {
+                batch_threshold: 1 << 20,
+                worker_interval: Duration::from_secs(3600),
+                wake_on_first: false,
+                eager_flush: false,
+            },
+        );
+        let drops = AtomicU64::new(0);
+        for _ in 0..100 {
+            let p = Box::into_raw(Box::new(Canary(&drops)));
+            // SAFETY: as above.
+            unsafe { deferred.retire(p) };
+        }
+        assert_eq!(deferred.pending(), 100);
+        let gp_before = rcu.grace_periods();
+        assert_eq!(deferred.flush(), 100);
+        let gp_spent = rcu.grace_periods() - gp_before;
+        assert_eq!(drops.load(Ordering::SeqCst), 100);
+        assert!(
+            gp_spent <= 2,
+            "100 retirements must share O(1) grace periods, spent {gp_spent}"
+        );
+        assert_eq!(deferred.batches(), 1);
+    }
+
+    #[test]
+    fn drop_executes_pending_callbacks() {
+        let drops = AtomicU64::new(0);
+        {
+            let deferred = CallRcu::with_config(
+                Arc::new(ScalableRcu::new()),
+                CallRcuConfig {
+                    batch_threshold: 1 << 20,
+                    worker_interval: Duration::from_secs(3600),
+                    wake_on_first: false,
+                    eager_flush: false,
+                },
+            );
+            for _ in 0..17 {
+                let p = Box::into_raw(Box::new(Canary(&drops)));
+                // SAFETY: as above.
+                unsafe { deferred.retire(p) };
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), 0);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn worker_flushes_without_explicit_calls() {
+        let drops = AtomicU64::new(0);
+        let deferred = CallRcu::with_config(
+            Arc::new(ScalableRcu::new()),
+            CallRcuConfig {
+                batch_threshold: 4,
+                ..CallRcuConfig::default()
+            },
+        );
+        for _ in 0..8 {
+            let p = Box::into_raw(Box::new(Canary(&drops)));
+            // SAFETY: as above.
+            unsafe { deferred.retire(p) };
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while drops.load(Ordering::SeqCst) < 8 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never flushed the queue"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let deferred = CallRcu::new(Arc::new(ScalableRcu::new()));
+        assert!(format!("{deferred:?}").contains("CallRcu"));
+    }
+}

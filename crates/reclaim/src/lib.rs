@@ -51,9 +51,31 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod deferred;
 mod metrics;
 
+pub use deferred::{CallRcu, CallRcuConfig, DeferredMetrics};
 pub use metrics::ReclaimMetrics;
+
+/// Deferred-free default for new trees: the inline `synchronize_rcu` in
+/// the two-child delete is replaced by `call_rcu`-style deferral when the
+/// `CITRUS_DEFERRED_FREE` environment variable is set to `1`, `true`, or
+/// `yes` (see DESIGN.md §6g). Inline mode — the paper's algorithm — stays
+/// the default so the two can be A/B-tested.
+///
+/// Consulted once per tree construction, never on the operation path; use
+/// the explicit constructor options to pick a mode regardless of the
+/// environment.
+#[must_use]
+pub fn deferred_free_from_env() -> bool {
+    matches!(
+        std::env::var("CITRUS_DEFERRED_FREE")
+            .ok()
+            .as_deref()
+            .map(str::trim),
+        Some("1" | "true" | "yes")
+    )
+}
 
 use citrus_chaos as chaos;
 use citrus_sync::{CachePadded, Registry, SlotHandle, SpinMutex};
@@ -162,6 +184,31 @@ impl EbrDomain {
             since_collect: Cell::new(0),
             stripe: self.metrics.assign_stripe(),
         }
+    }
+
+    /// Retires an unlinked allocation from any thread, without an
+    /// [`EbrHandle`]: the object goes straight to the domain's shared
+    /// orphan list, stamped with the current epoch, and is freed by a
+    /// later collection pass (or at domain drop).
+    ///
+    /// Used by the deferred-free machinery ([`CallRcu`] flush callbacks
+    /// run on whichever thread flushes, which holds no handle). Slower
+    /// than [`EbrHandle::retire`] — one shared lock per call — so not for
+    /// per-operation hot paths.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`EbrHandle::retire`].
+    pub unsafe fn retire_shared<T>(&self, ptr: *mut T) {
+        let epoch = self.global_epoch.load(Ordering::Relaxed);
+        // SAFETY: ownership transferred per this function's contract.
+        let retired = unsafe { Retired::new(ptr, epoch) };
+        let depth = {
+            let mut orphans = self.orphans.lock();
+            orphans.push(retired);
+            orphans.len()
+        };
+        self.metrics.record_retire(0, depth);
     }
 
     /// This domain's metric instruments (no-ops unless the crate is built

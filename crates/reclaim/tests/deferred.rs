@@ -1,0 +1,249 @@
+//! Lifecycle and safety tests for the `call_rcu`-style deferred
+//! reclamation domain ([`CallRcu`]): nothing is freed while a
+//! pre-existing reader is inside its critical section, nothing leaks at
+//! shutdown, nothing is freed twice under concurrency, and batches
+//! amortize grace periods. The chaos sweep at the bottom perturbs the
+//! retire/flush/worker failpoints under pinned seeds.
+
+use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle, ScalableRcu};
+use citrus_reclaim::{CallRcu, CallRcuConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Counts its drops, so a leak (count too low) and a double free (count
+/// too high) are both visible.
+struct Canary(Arc<AtomicU64>);
+
+impl Drop for Canary {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn retire_canaries<F: RcuFlavor>(deferred: &CallRcu<F>, drops: &Arc<AtomicU64>, n: usize) {
+    for _ in 0..n {
+        let p = Box::into_raw(Box::new(Canary(Arc::clone(drops))));
+        // SAFETY: freshly boxed, exclusively owned, sendable.
+        unsafe { deferred.retire(p) };
+    }
+}
+
+/// A configuration whose worker never flushes on its own, so the test
+/// controls exactly when grace periods are paid.
+fn manual_config() -> CallRcuConfig {
+    CallRcuConfig {
+        batch_threshold: 1 << 20,
+        worker_interval: Duration::from_secs(3600),
+        wake_on_first: false,
+        eager_flush: false,
+    }
+}
+
+/// The core RCU safety property, end to end: objects retired while a
+/// reader is inside its read-side critical section must not be freed
+/// until that reader leaves — even though the background worker keeps
+/// trying to flush the queue.
+fn reader_blocks_frees<F: RcuFlavor>() {
+    let rcu = Arc::new(F::new());
+    // Threshold 4 with 10 retirements: the worker flushes (and blocks in
+    // synchronize), but the enqueuer never crosses the 8× backpressure
+    // watermark — it must stay free to release the reader below.
+    let deferred = CallRcu::with_config(
+        Arc::clone(&rcu),
+        CallRcuConfig {
+            batch_threshold: 4,
+            ..CallRcuConfig::default()
+        },
+    );
+    let drops = Arc::new(AtomicU64::new(0));
+    let reader_in = AtomicBool::new(false);
+    let release = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        {
+            let (rcu, reader_in, release) = (&rcu, &reader_in, &release);
+            scope.spawn(move || {
+                let handle = rcu.register();
+                let guard = handle.read_lock();
+                reader_in.store(true, Ordering::Release);
+                while !release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                drop(guard);
+            });
+        }
+        while !reader_in.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        // Retired *after* the reader entered: the grace period covering
+        // these retirements cannot end before the reader leaves.
+        retire_canaries(&deferred, &drops, 10);
+        // Give the worker (threshold 4, 1ms interval) ample time to take
+        // the batch and park inside synchronize.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "a deferred free ran while a pre-existing reader was still inside"
+        );
+        release.store(true, Ordering::Release);
+    });
+    deferred.drain();
+    assert_eq!(drops.load(Ordering::SeqCst), 10);
+}
+
+#[test]
+fn reader_blocks_frees_scalable() {
+    reader_blocks_frees::<ScalableRcu>();
+}
+
+#[test]
+fn reader_blocks_frees_global_lock() {
+    reader_blocks_frees::<GlobalLockRcu>();
+}
+
+/// Shutdown lifecycle: dropping the domain with a loaded queue — filled
+/// by several racing threads — must run every callback exactly once.
+#[test]
+fn drop_with_pending_queue_frees_everything() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 100;
+    let drops = Arc::new(AtomicU64::new(0));
+    {
+        let deferred = CallRcu::with_config(Arc::new(ScalableRcu::new()), manual_config());
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let (deferred, drops, barrier) = (&deferred, &drops, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    retire_canaries(deferred, drops, PER_THREAD);
+                });
+            }
+        });
+        // Nothing has flushed (manual config); the whole load rides on
+        // the Drop path.
+        assert_eq!(deferred.pending(), THREADS * PER_THREAD);
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        (THREADS * PER_THREAD) as u64,
+        "drop must flush the queue: anything less is a leak, more a double free"
+    );
+}
+
+/// Retirers racing explicit flushers and the background worker: every
+/// canary is freed exactly once (the drop counter is exact, so a double
+/// free overshoots and a leak undershoots).
+#[test]
+fn concurrent_retire_and_flush_frees_exactly_once() {
+    const RETIRERS: usize = 3;
+    const PER_THREAD: usize = 500;
+    let drops = Arc::new(AtomicU64::new(0));
+    let deferred = CallRcu::with_config(
+        Arc::new(ScalableRcu::new()),
+        CallRcuConfig {
+            batch_threshold: 8,
+            ..CallRcuConfig::default()
+        },
+    );
+    let live_retirers = AtomicUsize::new(RETIRERS);
+    let barrier = Barrier::new(RETIRERS + 1);
+    std::thread::scope(|scope| {
+        for _ in 0..RETIRERS {
+            let (deferred, drops, barrier, live_retirers) =
+                (&deferred, &drops, &barrier, &live_retirers);
+            scope.spawn(move || {
+                barrier.wait();
+                retire_canaries(deferred, drops, PER_THREAD);
+                live_retirers.fetch_sub(1, Ordering::Release);
+            });
+        }
+        let (deferred, barrier, live_retirers) = (&deferred, &barrier, &live_retirers);
+        scope.spawn(move || {
+            barrier.wait();
+            // Flush against the retirers until the last one finishes.
+            while live_retirers.load(Ordering::Acquire) > 0 {
+                deferred.flush();
+                std::thread::yield_now();
+            }
+        });
+    });
+    deferred.drain();
+    assert_eq!(drops.load(Ordering::SeqCst), (RETIRERS * PER_THREAD) as u64);
+    assert_eq!(deferred.executed(), (RETIRERS * PER_THREAD) as u64);
+}
+
+/// The point of the exercise: retirements from many threads share grace
+/// periods instead of paying one each. 400 retirements drained in a
+/// handful of batches must spend far fewer than 400 grace periods.
+#[test]
+fn batches_amortize_grace_periods() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 100;
+    let rcu = Arc::new(ScalableRcu::new());
+    let deferred = CallRcu::with_config(Arc::clone(&rcu), manual_config());
+    let drops = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let (deferred, drops) = (&deferred, &drops);
+            scope.spawn(move || retire_canaries(deferred, drops, PER_THREAD));
+        }
+    });
+    let gp_before = rcu.grace_periods();
+    deferred.drain();
+    let total = (THREADS * PER_THREAD) as u64;
+    assert_eq!(drops.load(Ordering::SeqCst), total);
+    let gp_spent = rcu.grace_periods() - gp_before;
+    assert!(
+        gp_spent * 10 <= total,
+        "{total} retirements must amortize to few grace periods, spent {gp_spent}"
+    );
+}
+
+/// Chaos sweep over the new retire/flush/worker failpoints: under pinned
+/// seeds that yield, spin, and starve the worker (forcing the
+/// backpressure and drain paths), the exactly-once guarantee must hold,
+/// and the sites must actually fire.
+#[cfg(feature = "chaos")]
+#[test]
+fn chaos_seed_sweep_over_deferred_failpoints() {
+    use citrus_chaos::{self as chaos, ChaosPlan};
+    for seed in [0xDEFE_0001u64, 0xDEFE_0002, 0xDEFE_0003, 0xDEFE_0004] {
+        let _plan = chaos::install(
+            ChaosPlan::from_seed(seed)
+                .yields(250)
+                .spins(250, 64)
+                // High skip rate starves the worker: enqueuers must
+                // survive on backpressure flushes and the final drain.
+                .fails(800)
+                .traced(true),
+        );
+        chaos::set_thread_stream(0);
+        let drops = Arc::new(AtomicU64::new(0));
+        let deferred = CallRcu::with_config(
+            Arc::new(ScalableRcu::new()),
+            CallRcuConfig {
+                batch_threshold: 4,
+                ..CallRcuConfig::default()
+            },
+        );
+        retire_canaries(&deferred, &drops, 200);
+        deferred.drain();
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            200,
+            "seed {seed:#x}: chaos perturbation broke exactly-once execution"
+        );
+        let trace = chaos::take_trace();
+        for site in ["reclaim/defer/enqueue", "reclaim/flush/before-synchronize"] {
+            assert!(
+                trace.iter().any(|e| e.point == site),
+                "seed {seed:#x}: failpoint {site} never fired on the main thread"
+            );
+        }
+        drop(deferred);
+    }
+}
