@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod explore;
 pub mod lincheck;
 pub mod testkit;
 

@@ -606,9 +606,15 @@ pub fn check_linearizable<M, F>(
             }
             None => "full history dump unavailable (write failed)".to_string(),
         };
+        // One copy-pasteable line reproducing the perturbation context
+        // (active deterministic schedule or chaos plan seed), if any.
+        let recipe_note = match citrus_chaos::replay_recipe() {
+            Some(recipe) => format!("\nreplay: {recipe}"),
+            None => String::new(),
+        };
         panic!(
             "non-linearizable history for {} (seed {seed:#x}, {threads} threads × \
-             {ops_per_thread} ops, keys [0, {key_range})):\n{cx}\n{dump_note}",
+             {ops_per_thread} ops, keys [0, {key_range})):\n{cx}\n{dump_note}{recipe_note}",
             M::NAME
         );
     }

@@ -32,8 +32,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-pub use citrus_chaos::{chaos_enabled, install as install_chaos, ChaosGuard, ChaosPlan};
+pub use citrus_chaos::{
+    all_points, budget_from_env, chaos_enabled, enable_mutant, install as install_chaos,
+    mutant_enabled, replay_recipe, run_schedule, ChaosGuard, ChaosPlan, ExploreConfig,
+    ExploreReport, ExploredRun, Explorer, MutantGuard, ScheduleFailure, ScheduleOutcome,
+    SchedulePlan,
+};
 
+pub use crate::explore::{
+    explore_schedules, explore_schedules_with, replay_schedule, replay_schedule_with, ScenarioOp,
+    ScheduleScenario,
+};
 pub use crate::lincheck::{
     check_linearizable, last_history_dump, lin_ops, lin_threads, sweep_lincheck_chaos_seeds,
 };
@@ -575,11 +584,18 @@ pub fn stress_watchdog(test: &str) -> StressWatchdog {
                             }
                             None => String::new(),
                         };
+                        // One copy-pasteable line reproducing the hung
+                        // run's perturbation context (active schedule or
+                        // chaos plan seed), if any.
+                        let recipe_note = match replay_recipe() {
+                            Some(recipe) => format!(" Replay: {recipe}."),
+                            None => String::new(),
+                        };
                         eprintln!(
                             "[citrus-testkit] stress watchdog: test '{test}' still running after \
                              {timeout_secs}s — likely livelocked. Aborting with exit code 124. \
                              Tune with CITRUS_STRESS_TIMEOUT_SECS / CITRUS_STRESS_ITERS.\
-                             {dump_note}"
+                             {dump_note}{recipe_note}"
                         );
                         std::process::exit(124);
                     }

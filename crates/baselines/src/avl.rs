@@ -190,7 +190,7 @@ where
         unsafe {
             'retry: loop {
                 // A descent paused here races full rebalances at the root.
-                chaos::point("baseline-avl/locate/retry");
+                chaos::point!("baseline-avl/locate/retry");
                 let mut prev = self.root_holder;
                 let mut prev_v = (*prev).version.load(Ordering::Acquire);
                 let mut dir = R;
@@ -279,7 +279,7 @@ where
                 Located::Miss(prev, prev_v, dir) => {
                     // The locate→lock window: `prev` may shrink or gain a
                     // child first, which the version re-check catches.
-                    chaos::point("baseline-avl/insert/before-lock");
+                    chaos::point!("baseline-avl/insert/before-lock");
                     // SAFETY: as above.
                     unsafe {
                         (*prev).lock.lock();

@@ -311,7 +311,7 @@ where
         let tree = self.tree;
         let _w = tree.write_lock.lock();
         // Readers run concurrently with the path-copying below.
-        chaos::point("baseline-bonsai/write/critical");
+        chaos::point!("baseline-bonsai/write/critical");
         let root = tree.root.load(Ordering::Relaxed); // sole writer
         match tree.ins(root, &key, &value) {
             Some(new_root) => {
@@ -325,7 +325,7 @@ where
     fn remove(&mut self, key: &K) -> bool {
         let tree = self.tree;
         let _w = tree.write_lock.lock();
-        chaos::point("baseline-bonsai/write/critical");
+        chaos::point!("baseline-bonsai/write/critical");
         let root = tree.root.load(Ordering::Relaxed);
         match tree.del(root, key) {
             Some(new_root) => {

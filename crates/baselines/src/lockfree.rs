@@ -320,7 +320,7 @@ where
                 self.arena.push(new_internal);
                 // The seek→CAS window: the edge may be flagged or replaced
                 // first, failing the CAS below.
-                chaos::point("baseline-lockfree/insert/before-cas");
+                chaos::point!("baseline-lockfree/insert/before-cas");
                 match parent.child[dir].compare_exchange(
                     expected,
                     new_internal as usize,
@@ -358,7 +358,7 @@ where
                     let parent = &*s.parent;
                     let dir = Self::dir(parent, key);
                     // The seek→CAS window for the injection flag.
-                    chaos::point("baseline-lockfree/remove/before-cas");
+                    chaos::point!("baseline-lockfree/remove/before-cas");
                     match parent.child[dir].compare_exchange(
                         leaf as usize,
                         leaf as usize | FLAG,

@@ -497,13 +497,13 @@ where
     fn insert(&mut self, key: K, value: V) -> bool {
         let _w = self.tree.write_lock.lock();
         // Readers run concurrently with whatever this writer does next.
-        chaos::point("baseline-rbtree/write/critical");
+        chaos::point!("baseline-rbtree/write/critical");
         self.tree.insert_locked(key, value)
     }
 
     fn remove(&mut self, key: &K) -> bool {
         let _w = self.tree.write_lock.lock();
-        chaos::point("baseline-rbtree/write/critical");
+        chaos::point!("baseline-rbtree/write/critical");
         self.tree.remove_locked(key, &self.rcu)
     }
 }

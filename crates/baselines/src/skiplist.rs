@@ -275,7 +275,7 @@ where
 
             // The find→lock window: any predecessor may be marked or
             // re-linked before we lock it, which validation re-checks.
-            chaos::point("baseline-skiplist/add/before-validate");
+            chaos::point!("baseline-skiplist/add/before-validate");
             // Lock distinct predecessors bottom-up and validate.
             let mut locked: Vec<*mut SkipNode<K, V>> = Vec::with_capacity(top + 1);
             let mut valid = true;
@@ -363,7 +363,7 @@ where
 
                 // The victim is marked but still linked — the window other
                 // threads observe a logically deleted node.
-                chaos::point("baseline-skiplist/remove/before-validate");
+                chaos::point!("baseline-skiplist/remove/before-validate");
                 // Physical unlink: lock predecessors, validate, splice.
                 let mut locked: Vec<*mut SkipNode<K, V>> = Vec::with_capacity(top + 1);
                 let mut valid = true;

@@ -185,6 +185,11 @@ mod imp {
     /// A named schedule-perturbation failpoint.
     #[inline]
     pub fn point(name: &'static str) {
+        // An active deterministic schedule turns the point into a
+        // cooperative yield and suppresses random rolls entirely.
+        if crate::sched::maybe_yield(name) {
+            return;
+        }
         let generation = ACTIVE_GENERATION.load(Ordering::Acquire);
         if generation == 0 {
             return;
@@ -209,6 +214,11 @@ mod imp {
     /// as if its (correctness-preserving) retry condition fired.
     #[inline]
     pub fn should_fail(name: &'static str) -> bool {
+        // Under a deterministic schedule a fail site is a plain yield
+        // point: restarts are never forced (DESIGN.md §6h caveat).
+        if crate::sched::maybe_yield(name) {
+            return false;
+        }
         let generation = ACTIVE_GENERATION.load(Ordering::Acquire);
         if generation == 0 {
             return false;
@@ -225,6 +235,21 @@ mod imp {
     #[must_use]
     pub fn chaos_active() -> bool {
         ACTIVE_GENERATION.load(Ordering::Acquire) != 0
+    }
+
+    /// The installed plan's seed, for replay-recipe reporting.
+    #[must_use]
+    pub fn active_plan_seed() -> Option<u64> {
+        if !chaos_active() {
+            return None;
+        }
+        (*unpoisoned(&PLAN)).map(|p| p.seed)
+    }
+
+    /// The global chaos serialization lock, shared with schedule runs so
+    /// deterministic schedules never overlap random chaos plans.
+    pub(crate) fn serial_lock() -> MutexGuard<'static, ()> {
+        unpoisoned(&SERIAL)
     }
 }
 
@@ -278,10 +303,20 @@ mod imp {
     pub fn chaos_active() -> bool {
         false
     }
+
+    /// Always `None` in this build.
+    #[inline(always)]
+    #[must_use]
+    pub fn active_plan_seed() -> Option<u64> {
+        None
+    }
 }
 
+#[cfg(feature = "chaos")]
+pub(crate) use imp::serial_lock;
 pub use imp::{
-    chaos_active, install, point, set_thread_stream, should_fail, take_trace, ChaosGuard,
+    active_plan_seed, chaos_active, install, point, set_thread_stream, should_fail, take_trace,
+    ChaosGuard,
 };
 
 #[cfg(test)]

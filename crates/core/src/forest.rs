@@ -452,12 +452,12 @@ where
     /// Routes `key` and returns the shard's session, creating it on first
     /// touch.
     fn session_for(&mut self, key: &K) -> &mut CitrusSession<'t, K, V, F> {
-        chaos::point("forest/route/before-shard");
+        chaos::point!("forest/route/before-shard");
         let idx = self.forest.shard_for(key);
         self.forest.metrics.record_route(idx, self.stripe);
         let slot = &mut self.sessions[idx];
         if slot.is_none() {
-            chaos::point("forest/session/lazy-init");
+            chaos::point!("forest/session/lazy-init");
             *slot = Some(self.forest.shards[idx].session());
         }
         slot.as_mut().expect("slot populated above")

@@ -178,6 +178,21 @@ impl<K: Send + Sync, V: Send + Sync, F: RcuFlavor> CitrusTree<K, V, F> {
     /// what make deferred mode sound: pending unlink records free their
     /// node — key and value included — on whichever thread flushes.
     pub fn with_options(rcu: F, mode: ReclaimMode, deferred: bool) -> Self {
+        Self::with_deferred_config(rcu, mode, deferred.then(Self::deferred_config))
+    }
+
+    /// Like [`with_options`](Self::with_options) but with the deferred
+    /// [`CallRcuConfig`] pinned by the caller (`Some` enables deferred
+    /// unlinking with exactly that tuning, `None` keeps the paper's
+    /// inline `synchronize_rcu`). Schedule-exploration scenarios use this
+    /// to make every flush run inline on the enqueuing (scheduled) thread
+    /// — `batch_threshold: 1`, `eager_flush: true`, `wake_on_first:
+    /// false` — so the straggler worker never participates.
+    pub fn with_deferred_config(
+        rcu: F,
+        mode: ReclaimMode,
+        deferred: Option<CallRcuConfig>,
+    ) -> Self {
         let inf = Node::new_leaf(KeyBound::PosInf, None);
         let root = Node::new_leaf(KeyBound::NegInf, None);
         // SAFETY: freshly allocated, exclusively owned until `Self` exists.
@@ -190,7 +205,7 @@ impl<K: Send + Sync, V: Send + Sync, F: RcuFlavor> CitrusTree<K, V, F> {
                 ReclaimMode::Leak => ReclaimInner::Leak(SpinMutex::new(Vec::new())),
                 ReclaimMode::Epoch => ReclaimInner::Epoch(EbrDomain::new()),
             }),
-            deferred: deferred.then(|| CallRcu::with_config(rcu, Self::deferred_config())),
+            deferred: deferred.map(|config| CallRcu::with_config(rcu, config)),
             metrics: TreeMetrics::new(),
             _marker: PhantomData,
         }
@@ -564,7 +579,7 @@ struct UnlinkRecord<K, V> {
 unsafe fn run_unlink<K, V>(data: *mut u8) {
     // SAFETY: `data` is the Boxed record per this function's contract.
     let rec = unsafe { Box::from_raw(data.cast::<UnlinkRecord<K, V>>()) };
-    chaos::point("citrus/deferred-unlink/run");
+    chaos::point!("citrus/deferred-unlink/run");
     // SAFETY: both nodes are valid — `edge_owner` cannot be unlinked or
     // retired while its lock (held by this record) is taken, and `succ` is
     // retired only below. The grace period has elapsed, so no pre-existing
@@ -629,7 +644,7 @@ where
             let mut dir = Dir::Right;
             let mut curr = (*prev).child(dir); // root's right child: the ∞ sentinel
             loop {
-                chaos::point("citrus/search/step");
+                chaos::point!("citrus/search/step");
                 if curr.is_null() {
                     break;
                 }
@@ -657,7 +672,7 @@ where
         // value, still inside the read-side section — the interval where
         // a stale read would manifest if the RCU protocol were broken
         // (exercised by the lincheck chaos sweeps).
-        chaos::point("citrus/get/after-search");
+        chaos::point!("citrus/get/after-search");
         if curr.is_null() {
             return None;
         }
@@ -693,7 +708,7 @@ where
             }
             // The search→lock window: `prev` may be unlinked or gain a
             // child before we lock it — exactly what validate re-checks.
-            chaos::point("citrus/insert/before-lock");
+            chaos::point!("citrus/insert/before-lock");
             // SAFETY: `prev` stays allocated (reclamation protocol); locking
             // an unlinked node is harmless — validation will fail.
             unsafe {
@@ -701,9 +716,9 @@ where
                 locks.acquire(prev);
                 self.tree.metrics.record_locks(self.stripe, 1);
                 if validate(prev, tag, ptr::null_mut(), dir)
-                    && !chaos::should_fail("citrus/insert/force-restart")
+                    && !chaos::should_fail!("citrus/insert/force-restart")
                 {
-                    chaos::point("citrus/insert/after-validate");
+                    chaos::point!("citrus/insert/after-validate");
                     let (key, value) = payload;
                     let node = Node::new_leaf(KeyBound::Key(key), Some(value));
                     // Line 29: publish the new leaf.
@@ -733,7 +748,7 @@ where
                 return false;
             }
             // The search→lock window, as in `insert`.
-            chaos::point("citrus/remove/before-lock");
+            chaos::point!("citrus/remove/before-lock");
             // SAFETY: nodes stay allocated for the whole operation (Leak
             // never frees; Epoch covered by `_pin`); every field write
             // below is to a node this thread has locked, and `locks`
@@ -745,7 +760,7 @@ where
                 locks.acquire(curr);
                 self.tree.metrics.record_locks(self.stripe, 2);
                 if !validate(prev, 0, curr, dir)
-                    || chaos::should_fail("citrus/remove/force-restart")
+                    || chaos::should_fail!("citrus/remove/force-restart")
                 {
                     drop(locks);
                     self.stats
@@ -754,7 +769,7 @@ where
                     self.tree.metrics.record_remove_retry(self.stripe);
                     continue;
                 }
-                chaos::point("citrus/remove/after-validate");
+                chaos::point!("citrus/remove/after-validate");
                 let left = (*curr).child(Dir::Left);
                 let right = (*curr).child(Dir::Right);
                 if left.is_null() || right.is_null() {
@@ -764,7 +779,7 @@ where
                     (*prev).set_child(dir, not_none_child);
                     // Bypass published, tag not yet bumped: a concurrent
                     // insert's validate must still catch the change.
-                    chaos::point("citrus/remove/before-increment-tag");
+                    chaos::point!("citrus/remove/before-increment-tag");
                     (*prev).increment_tag(dir);
                     drop(locks);
                     self.retire(curr);
@@ -853,7 +868,7 @@ where
                             succ,
                             sink: Arc::clone(&self.tree.reclaim),
                         }));
-                        chaos::point("citrus/remove/defer-unlink");
+                        chaos::point!("citrus/remove/defer-unlink");
                         // SAFETY: the record exclusively owns the two
                         // transferred locks; the constructor's
                         // `K/V: Send + Sync` bounds make running it — node
@@ -868,11 +883,18 @@ where
 
                     // The weak-BST window: two nodes carry the successor's
                     // key until the grace period elapses.
-                    chaos::point("citrus/remove/before-synchronize");
+                    chaos::point!("citrus/remove/before-synchronize");
                     // Line 74: wait for pre-existing searches, which may
                     // still be looking at the successor's *old* location.
-                    self.rcu.synchronize();
-                    chaos::point("citrus/remove/after-synchronize");
+                    // The mutant guard is a test-only bug switch (chaos
+                    // builds only): skipping the grace period unlinks the
+                    // old successor while a pre-existing reader may be
+                    // about to traverse it — the exploration suite must
+                    // find the resulting lost read.
+                    if !chaos::mutant_enabled("citrus/remove/skip-synchronize") {
+                        self.rcu.synchronize();
+                    }
+                    chaos::point!("citrus/remove/after-synchronize");
                     self.stats
                         .synchronize_calls
                         .set(self.stats.synchronize_calls.get() + 1);

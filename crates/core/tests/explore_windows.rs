@@ -1,0 +1,356 @@
+//! Exhaustive small-schedule exploration of the Citrus tree's
+//! linearization-sensitive windows (DESIGN.md §6h).
+//!
+//! Each scenario scripts 2 threads over a 4-node tree so that a
+//! `remove` takes the two-child path — the paper's central race: mark the
+//! victim, splice a copy of the successor, wait one grace period
+//! (`synchronize_rcu`), then unlink the old successor. The sweeps
+//! enumerate *every* interleaving of the instrumented yield points within
+//! a preemption bound and check each against the linearizability oracle
+//! plus full structural validation.
+//!
+//! The mutant tests prove the harness has teeth: with the grace period
+//! deliberately skipped (`citrus/remove/skip-synchronize` for the inline
+//! path, `reclaim/flush/skip-synchronize` for the deferred path), the
+//! explorer must find a reader that misses a key that was never absent —
+//! and the failing schedule it reports, replayed verbatim, must fail
+//! again (and pass once the mutant is disabled).
+//!
+//! Replay any failure here with `CITRUS_SCHEDULE=<schedule> cargo test
+//! --features chaos -p citrus <test>`.
+
+#![cfg(feature = "chaos")]
+
+use citrus::{CallRcuConfig, CitrusForest, CitrusTree, GlobalLockRcu, ReclaimMode};
+use citrus_api::testkit::{
+    enable_mutant, explore_schedules_with, replay_schedule_with, stress_watchdog, ExploreConfig,
+    Explorer, ScenarioOp, ScheduleScenario,
+};
+use std::time::Duration;
+
+type Tree = CitrusTree<u64, u64, GlobalLockRcu>;
+type Forest = CitrusForest<u64, u64, GlobalLockRcu>;
+
+/// Pinned minimal schedule (harvested from the mutant sweep) driving the
+/// reader past the victim before the splice and back through the
+/// successor's parent after the unlink — the exact window the inline
+/// `synchronize_rcu` exists to close.
+const PINNED_INLINE_DELETE_SCHEDULE: &str = "1110";
+
+/// Pinned minimal schedule for the same window with the unlink deferred
+/// through a `call_rcu` batch flushed inline by the deleting thread.
+const PINNED_DEFERRED_FLUSH_SCHEDULE: &str = "1110";
+
+fn make_inline() -> Tree {
+    Tree::with_options(GlobalLockRcu::new(), ReclaimMode::Leak, false)
+}
+
+/// Deferred unlinking tuned for deterministic schedules: every enqueue
+/// flushes inline on the enqueuing (scheduled) thread and the straggler
+/// worker never wakes, so the whole flush runs under the scheduler.
+fn make_deferred() -> Tree {
+    Tree::with_deferred_config(
+        GlobalLockRcu::new(),
+        ReclaimMode::Leak,
+        Some(CallRcuConfig {
+            batch_threshold: 1,
+            worker_interval: Duration::from_secs(3600),
+            wake_on_first: false,
+            eager_flush: true,
+        }),
+    )
+}
+
+fn validate(tree: &mut Tree) -> Result<(), String> {
+    tree.validate_structure()
+        .map(|_| ())
+        .map_err(|v| format!("structure invariant violated: {v}"))
+}
+
+/// remove(20) takes the two-child path (children 10 and 30); its
+/// successor is 25, which the concurrent reader looks up. 25 is never
+/// removed, so any `get(25) → None` is a linearizability violation.
+fn delete_window_scenario(name: &'static str) -> ScheduleScenario {
+    ScheduleScenario::new(name)
+        .prefill(&[(20, 200), (10, 100), (30, 300), (25, 250)])
+        .thread(&[ScenarioOp::Remove(20)])
+        .thread(&[ScenarioOp::Get(25)])
+}
+
+fn bounded(max_preemptions: usize) -> ExploreConfig {
+    ExploreConfig {
+        max_preemptions,
+        ..ExploreConfig::default()
+    }
+}
+
+#[test]
+fn inline_delete_window_sweep_is_clean() {
+    let _wd = stress_watchdog("inline_delete_window_sweep_is_clean");
+    let scenario = delete_window_scenario("inline-two-child-delete");
+    let report = explore_schedules_with(make_inline, &scenario, bounded(2), validate);
+    report.assert_clean(scenario.name);
+    // Coverage claims only hold for a full enumeration: a budget-limited
+    // lane or a CITRUS_SCHEDULE single-run replay skips them.
+    if !report.completed {
+        return;
+    }
+    assert!(report.schedules > 1, "sweep must enumerate real schedules");
+    // The sweep must actually drive through the delete window.
+    for point in [
+        "citrus/remove/before-synchronize",
+        "citrus/remove/after-synchronize",
+        "citrus/search/step",
+        // The reader-wait block only fires in interleavings where the
+        // grace period really overlaps the reader's critical section —
+        // exactly the window the sweep exists to cover.
+        "rcu-global-lock/synchronize/reader-wait",
+    ] {
+        assert!(
+            report.points_hit.contains(point),
+            "sweep never reached {point}; hit: {:?}",
+            report.points_hit
+        );
+    }
+}
+
+#[test]
+fn deferred_unlink_window_sweep_is_clean() {
+    let _wd = stress_watchdog("deferred_unlink_window_sweep_is_clean");
+    let scenario = delete_window_scenario("deferred-unlink-flush");
+    let report = explore_schedules_with(make_deferred, &scenario, bounded(2), validate);
+    report.assert_clean(scenario.name);
+    if !report.completed {
+        return;
+    }
+    for point in [
+        "citrus/remove/defer-unlink",
+        "reclaim/defer/enqueue",
+        "reclaim/flush/before-synchronize",
+        "reclaim/flush/after-synchronize",
+        "citrus/deferred-unlink/run",
+    ] {
+        assert!(
+            report.points_hit.contains(point),
+            "sweep never reached {point}; hit: {:?}",
+            report.points_hit
+        );
+    }
+}
+
+/// The acceptance gate for "exhaustive": for a fixed scenario and bound
+/// the number of distinct schedules is a deterministic property of the
+/// failpoint graph. A drift means yield points appeared or vanished —
+/// deliberate (update the constant) or a silently lost window (a bug).
+/// Budget-limited lanes (`CITRUS_EXPLORE_BUDGET_MS`) skip the pin: an
+/// incomplete sweep has no stable count.
+#[test]
+fn explored_schedule_count_is_stable() {
+    let _wd = stress_watchdog("explored_schedule_count_is_stable");
+    let scenario = delete_window_scenario("inline-two-child-delete-count");
+    let first = explore_schedules_with(make_inline, &scenario, bounded(1), validate);
+    first.assert_clean(scenario.name);
+    let second = explore_schedules_with(make_inline, &scenario, bounded(1), validate);
+    assert_eq!(
+        first.schedules, second.schedules,
+        "same scenario and bound must enumerate the same schedule set"
+    );
+    if first.completed && second.completed {
+        assert_eq!(
+            first.schedules, 21,
+            "bound-1 schedule count drifted — a yield point appeared or vanished \
+             in the delete window; re-harvest if deliberate"
+        );
+    }
+}
+
+#[test]
+fn inline_delete_skip_synchronize_mutant_is_caught() {
+    let _wd = stress_watchdog("inline_delete_skip_synchronize_mutant_is_caught");
+    let scenario = delete_window_scenario("inline-two-child-delete-mutant");
+    let guard = enable_mutant("citrus/remove/skip-synchronize");
+    let report = explore_schedules_with(make_inline, &scenario, bounded(2), validate);
+    let failure = report
+        .failure
+        .expect("skipping the delete-path synchronize_rcu must be caught");
+    eprintln!("[mutant] inline delete minimal schedule: {failure}");
+    assert_eq!(
+        failure.preemptions, 1,
+        "iterative deepening must find a 1-preemption witness first"
+    );
+    assert!(
+        failure.reason.contains("non-linearizable"),
+        "the witness must be a linearizability violation, got: {}",
+        failure.reason
+    );
+    // The reported schedule is a replayable witness...
+    let rerun = replay_schedule_with(make_inline, &scenario, &failure.schedule, validate);
+    assert!(
+        rerun.verdict.is_err() || !rerun.outcome.clean(),
+        "replaying the failing schedule must reproduce the failure"
+    );
+    // ...and the failure is the mutant's: the same schedule passes with
+    // the real synchronize_rcu back in place.
+    drop(guard);
+    let fixed = replay_schedule_with(make_inline, &scenario, &failure.schedule, validate);
+    assert!(
+        fixed.outcome.clean() && fixed.verdict.is_ok(),
+        "the minimal schedule must pass once the grace period is restored: {:?}",
+        fixed.verdict
+    );
+}
+
+#[test]
+fn deferred_flush_skip_synchronize_mutant_is_caught() {
+    let _wd = stress_watchdog("deferred_flush_skip_synchronize_mutant_is_caught");
+    let scenario = delete_window_scenario("deferred-unlink-flush-mutant");
+    let guard = enable_mutant("reclaim/flush/skip-synchronize");
+    let report = explore_schedules_with(make_deferred, &scenario, bounded(2), validate);
+    let failure = report
+        .failure
+        .expect("skipping the flush-path synchronize_rcu must be caught");
+    eprintln!("[mutant] deferred flush minimal schedule: {failure}");
+    assert_eq!(failure.preemptions, 1);
+    let rerun = replay_schedule_with(make_deferred, &scenario, &failure.schedule, validate);
+    assert!(rerun.verdict.is_err() || !rerun.outcome.clean());
+    drop(guard);
+    let fixed = replay_schedule_with(make_deferred, &scenario, &failure.schedule, validate);
+    assert!(
+        fixed.outcome.clean() && fixed.verdict.is_ok(),
+        "the minimal schedule must pass once the flush grace period is restored: {:?}",
+        fixed.verdict
+    );
+}
+
+/// Satellite pinned regression: the minimal inline-delete schedule the
+/// mutant sweep discovered, replayed forever against the real code. The
+/// mutant leg keeps the pin honest — if instrumentation drift makes the
+/// schedule stop exercising the window (stale decisions, or a pass even
+/// with the grace period skipped), this fails and the constant must be
+/// re-harvested from `inline_delete_skip_synchronize_mutant_is_caught`.
+#[test]
+fn pinned_inline_delete_schedule_regression() {
+    let _wd = stress_watchdog("pinned_inline_delete_schedule_regression");
+    let scenario = delete_window_scenario("inline-two-child-delete-pinned");
+    let run = replay_schedule_with(
+        make_inline,
+        &scenario,
+        PINNED_INLINE_DELETE_SCHEDULE,
+        validate,
+    );
+    assert!(
+        run.outcome.clean() && run.verdict.is_ok(),
+        "pinned schedule regressed: {:?} / {:?}",
+        run.outcome.failure_reason(),
+        run.verdict
+    );
+    let guard = enable_mutant("citrus/remove/skip-synchronize");
+    let mutant = replay_schedule_with(
+        make_inline,
+        &scenario,
+        PINNED_INLINE_DELETE_SCHEDULE,
+        validate,
+    );
+    drop(guard);
+    assert!(
+        mutant.verdict.is_err() || !mutant.outcome.clean(),
+        "pinned schedule no longer exercises the delete window — re-harvest it"
+    );
+}
+
+/// Satellite pinned regression for the deferred-unlink flush window; same
+/// honesty protocol as the inline pin.
+#[test]
+fn pinned_deferred_flush_schedule_regression() {
+    let _wd = stress_watchdog("pinned_deferred_flush_schedule_regression");
+    let scenario = delete_window_scenario("deferred-unlink-flush-pinned");
+    let run = replay_schedule_with(
+        make_deferred,
+        &scenario,
+        PINNED_DEFERRED_FLUSH_SCHEDULE,
+        validate,
+    );
+    assert!(
+        run.outcome.clean() && run.verdict.is_ok(),
+        "pinned schedule regressed: {:?} / {:?}",
+        run.outcome.failure_reason(),
+        run.verdict
+    );
+    let guard = enable_mutant("reclaim/flush/skip-synchronize");
+    let mutant = replay_schedule_with(
+        make_deferred,
+        &scenario,
+        PINNED_DEFERRED_FLUSH_SCHEDULE,
+        validate,
+    );
+    drop(guard);
+    assert!(
+        mutant.verdict.is_err() || !mutant.outcome.clean(),
+        "pinned schedule no longer exercises the flush window — re-harvest it"
+    );
+}
+
+/// Finds one key per shard of a 2-shard forest by probing the shard trees
+/// directly (routing is hash-based, so the constants are not obvious).
+fn keys_in_distinct_shards() -> (u64, u64) {
+    let forest = Forest::with_config(2, 0, ReclaimMode::Leak);
+    let mut session = forest.session();
+    let mut per_shard: [Option<u64>; 2] = [None, None];
+    for k in 0..64 {
+        session.insert(k, k);
+        for (i, slot) in per_shard.iter_mut().enumerate() {
+            if slot.is_none() && forest.shard(i).session().get(&k).is_some() {
+                *slot = Some(k);
+            }
+        }
+        if let [Some(a), Some(b)] = per_shard {
+            return (a, b);
+        }
+    }
+    panic!("no key pair split across 2 shards in 0..64");
+}
+
+/// Cross-shard independence: two threads updating keys routed to
+/// different shards share no locks and no RCU domain, so every
+/// interleaving must be clean — and the sweep proves it for all of them,
+/// not just the ones a stress run happens to sample.
+#[test]
+fn forest_cross_shard_sweep_is_clean() {
+    let _wd = stress_watchdog("forest_cross_shard_sweep_is_clean");
+    let (a, b) = keys_in_distinct_shards();
+    let scenario = ScheduleScenario::new("forest-cross-shard")
+        .prefill(&[(a, 1)])
+        .thread(&[ScenarioOp::Remove(a), ScenarioOp::Get(a)])
+        .thread(&[ScenarioOp::Insert(b, 2), ScenarioOp::Get(b)]);
+    let make = || Forest::with_config(2, 0, ReclaimMode::Leak);
+    let report = explore_schedules_with(make, &scenario, bounded(1), |_| Ok(()));
+    report.assert_clean(scenario.name);
+    if !report.completed {
+        return;
+    }
+    assert!(
+        report.points_hit.contains("forest/route/before-shard"),
+        "sweep never crossed the shard router; hit: {:?}",
+        report.points_hit
+    );
+    assert_eq!(report.deadlocks, 0);
+}
+
+/// The explorer itself honors the wall-clock budget: an absurdly small
+/// budget must cut the sweep short and say so, not hang or lie.
+#[test]
+fn explore_budget_marks_sweep_incomplete() {
+    let _wd = stress_watchdog("explore_budget_marks_sweep_incomplete");
+    let config = ExploreConfig {
+        max_preemptions: 2,
+        budget: Some(Duration::from_millis(0)),
+        ..ExploreConfig::default()
+    };
+    let explorer = Explorer::new(config);
+    let report = explorer.explore(|plan| citrus_api::testkit::ExploredRun {
+        outcome: citrus_api::testkit::run_schedule(plan, vec![Box::new(|| {})]),
+        verdict: Ok(()),
+    });
+    // A zero budget expires before the first run even starts.
+    assert!(!report.completed, "zero budget cannot complete a sweep");
+}

@@ -202,10 +202,13 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
             // does not extend through this plain store), so this store
             // must itself carry the previous critical section's loads.
             self.slot.word.store(phase | ACTIVE, Ordering::Release);
+            // A synchronizer blocked on this word exits once it observes
+            // a re-entry at the new phase.
+            chaos::wake_hint();
             // A reader preempted here has published a (possibly stale)
             // phase but not yet ordered its loads — the window the two
             // phase flips exist to cover.
-            chaos::point("rcu-global-lock/read-lock/between-store-and-fence");
+            chaos::point!("rcu-global-lock/read-lock/between-store-and-fence");
             // Pair with the synchronizer's fence: it either sees us active,
             // or we see all its pre-grace-period stores.
             fence(Ordering::SeqCst);
@@ -230,6 +233,8 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
             // "re-entered at the new phase" — is covered by
             // `raw_read_lock`'s Release store on the re-entry word.
             self.slot.word.store(0, Ordering::Release);
+            // A synchronizer blocked on this word can now proceed.
+            chaos::wake_hint();
         }
     }
 
@@ -254,7 +259,7 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
         let _gp = domain.gp_lock.lock();
         if let Some(snap) = snap {
             // The piggyback decision window for the queued waiter.
-            chaos::point("rcu-global-lock/synchronize/piggyback-check");
+            chaos::point!("rcu-global-lock/synchronize/piggyback-check");
             if domain.gp_phase.load(Ordering::SeqCst).wrapping_sub(snap) >= 2 * PHASE_ONE {
                 // Two full flips elapsed while we queued. Both started
                 // after our snapshot (their fetch_adds are SeqCst-after our
@@ -281,7 +286,7 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
         for _ in 0..2 {
             // A synchronizer paused between flips holds the global lock
             // while readers keep entering under the first new phase.
-            chaos::point("rcu-global-lock/synchronize/phase-flip");
+            chaos::point!("rcu-global-lock/synchronize/phase-flip");
             let new_phase = domain.gp_phase.fetch_add(PHASE_ONE, Ordering::SeqCst) + PHASE_ONE;
             // Order the flip before the reader scan in the SeqCst total
             // order: a queued waiter that piggybacks on this flip pair
@@ -290,7 +295,7 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
             // fence and are therefore observed below with current words.
             fence(Ordering::SeqCst);
             for (index, slot) in domain.registry.iter().enumerate() {
-                chaos::point("rcu-global-lock/synchronize/scan-step");
+                chaos::point!("rcu-global-lock/synchronize/scan-step");
                 if core::ptr::from_ref::<ReaderSlot>(slot.value()).cast::<u8>() == own {
                     continue;
                 }
@@ -306,6 +311,9 @@ impl RcuHandle for GlobalLockRcuHandle<'_> {
                     if w & ACTIVE == 0 || (w & !ACTIVE) >= new_phase {
                         break;
                     }
+                    // Progress needs this reader to exit or re-enter:
+                    // park under a deterministic schedule.
+                    chaos::blocked!("rcu-global-lock/synchronize/reader-wait");
                     backoff.snooze();
                     if let Some(limit) = stall_limit {
                         let since = *waited_since.get_or_insert_with(Instant::now);

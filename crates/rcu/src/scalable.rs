@@ -211,9 +211,11 @@ impl RcuHandle for ScalableRcuHandle<'_> {
             // before the synchronizer's return.
             let w = word.load(Ordering::Relaxed);
             word.store(w.wrapping_add(COUNT_ONE) | FLAG, Ordering::Release);
+            // A synchronizer blocked on this word exits when it changes.
+            chaos::wake_hint();
             // The store/fence window: a reader preempted here has
             // published its flag but not yet ordered its loads.
-            chaos::point("rcu-scalable/read-lock/between-store-and-fence");
+            chaos::point!("rcu-scalable/read-lock/between-store-and-fence");
             // Order the flag store before the critical section's loads
             // (paired with the fence at the start of `synchronize`): either
             // the synchronizer sees our flag, or we see every store it made
@@ -245,6 +247,8 @@ impl RcuHandle for ScalableRcuHandle<'_> {
             // between the two stores every quiescence observation carries
             // this critical section's loads.
             word.store(w & !FLAG, Ordering::Release);
+            // A synchronizer blocked on this word can now proceed.
+            chaos::wake_hint();
         }
     }
 
@@ -273,7 +277,7 @@ impl RcuHandle for ScalableRcuHandle<'_> {
         let caught_up = |(snap, needed): (u64, u64)| {
             // The piggyback decision window: a synchronizer paused here may
             // miss (or catch) a peer's completion.
-            chaos::point("rcu-scalable/synchronize/piggyback-check");
+            chaos::point!("rcu-scalable/synchronize/piggyback-check");
             domain.gp_seq.load(Ordering::SeqCst).wrapping_sub(snap) >= needed
         };
         // Announce our scan: turn an even sequence odd, or adopt the odd
@@ -294,6 +298,8 @@ impl RcuHandle for ScalableRcuHandle<'_> {
                     .compare_exchange(cur, cur.wrapping_add(1), Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
+                    // gp_seq advanced: peers polling caught_up should look.
+                    chaos::wake_hint();
                     announced = Some(cur.wrapping_add(1));
                     break;
                 }
@@ -316,7 +322,7 @@ impl RcuHandle for ScalableRcuHandle<'_> {
         for (index, slot) in domain.registry.iter().enumerate() {
             // A synchronizer paused between slot scans lets later slots'
             // readers turn over many times before being snapshotted.
-            chaos::point("rcu-scalable/synchronize/scan-step");
+            chaos::point!("rcu-scalable/synchronize/scan-step");
             if let Some(target) = share {
                 if caught_up(target) {
                     return self.finish_piggybacked(&stopwatch, scanned);
@@ -348,6 +354,16 @@ impl RcuHandle for ScalableRcuHandle<'_> {
                         return self.finish_piggybacked(&stopwatch, scanned);
                     }
                 }
+                // `caught_up` is a yield point: under a deterministic
+                // schedule the reader may exit (and fire its wake) inside
+                // that window, after the loop condition was sampled. Re-read
+                // the word before parking or that wake is lost for good.
+                if word.load(Ordering::Acquire) != snapshot {
+                    break;
+                }
+                // Progress needs the reader's word to change (or a peer's
+                // gp_seq completion): park under a deterministic schedule.
+                chaos::blocked!("rcu-scalable/synchronize/reader-wait");
                 backoff.snooze();
                 if let Some(limit) = stall_limit {
                     let since = *waited_since.get_or_insert_with(Instant::now);
@@ -375,6 +391,8 @@ impl RcuHandle for ScalableRcuHandle<'_> {
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             );
+            // Completion published: blocked piggyback candidates re-check.
+            chaos::wake_hint();
         }
         domain.grace_periods.fetch_add(1, Ordering::Relaxed);
         domain

@@ -1,0 +1,164 @@
+//! Exhaustive schedule exploration of the RCU grace-period protocol
+//! itself: a reader that exits and immediately re-enters a read-side
+//! critical section racing a writer's `synchronize_rcu`.
+//!
+//! This is the window where a buggy flavor returns early — the reader's
+//! exit makes it look quiescent, but its re-entry happened before the
+//! writer's scan observed the exit, and a broken implementation credits
+//! the *new* critical section as the old one having ended. The scenario
+//! publishes a value, synchronizes, then marks the old value freed; the
+//! reader asserts (on entry and before exit) that whatever it observed
+//! was never freed. Assertion failures surface as scenario panics, which
+//! the explorer reports with a replayable schedule.
+//!
+//! Both flavors sweep every interleaving of their instrumented yield
+//! points at preemption bound 2 — the deterministic counterpart of the
+//! statistical `check_grace_period_property` stress test.
+
+#![cfg(feature = "chaos")]
+
+use citrus_chaos::{run_schedule, ExploreReport, ExploredRun, Explorer};
+use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle, ScalableRcu};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// One deterministic run: reader exits and re-enters; writer unpublishes
+/// value 0, waits a grace period, then frees it.
+fn grace_period_run<F: RcuFlavor>(rcu: &F) -> Vec<Box<dyn FnOnce() + Send + '_>> {
+    // Leaked per-run state keeps the closures 'static-free but simple;
+    // each run allocates a few words, reclaimed when the Vec drops.
+    let published = Box::leak(Box::new(AtomicUsize::new(0)));
+    let freed: &'static [AtomicBool; 2] =
+        Box::leak(Box::new([AtomicBool::new(false), AtomicBool::new(false)]));
+    let reader = {
+        let published = &*published;
+        move || {
+            let h = rcu.register();
+            for pass in 0..2 {
+                let g = h.read_lock();
+                let v = published.load(Ordering::Acquire);
+                assert!(
+                    !freed[v].load(Ordering::SeqCst),
+                    "pass {pass}: value {v} was freed while still published"
+                );
+                // Named dwell point: gives the scheduler somewhere to run
+                // the writer *inside* the reader's critical section — the
+                // only place a premature grace period is observable.
+                citrus_chaos::point!("rcu-test/reader/dwell");
+                assert!(
+                    !freed[v].load(Ordering::SeqCst),
+                    "pass {pass}: grace period ended while the reader that \
+                     observed value {v} was still inside its critical section"
+                );
+                drop(g);
+            }
+        }
+    };
+    let writer = {
+        let published = &*published;
+        move || {
+            let h = rcu.register();
+            published.store(1, Ordering::Release);
+            h.synchronize();
+            freed[0].store(true, Ordering::SeqCst);
+        }
+    };
+    vec![Box::new(reader), Box::new(writer)]
+}
+
+fn sweep<F: RcuFlavor, M: Fn() -> F>(make: M) -> ExploreReport {
+    Explorer::with_bound(2).explore(|plan| {
+        let rcu = make();
+        let outcome = run_schedule(plan, grace_period_run(&rcu));
+        ExploredRun {
+            outcome,
+            verdict: Ok(()),
+        }
+    })
+}
+
+#[test]
+fn scalable_reader_reenter_vs_synchronize_is_clean() {
+    let report = sweep(|| ScalableRcu::with_sharing(true));
+    if let Some(f) = &report.failure {
+        panic!(
+            "scalable grace-period violation: {f}\n  replay: CITRUS_SCHEDULE={}",
+            f.schedule
+        );
+    }
+    assert_eq!(report.deadlocks, 0, "no schedule may wedge the protocol");
+    for point in [
+        "rcu-scalable/read-lock/between-store-and-fence",
+        "rcu-scalable/synchronize/scan-step",
+        "rcu-scalable/synchronize/reader-wait",
+    ] {
+        assert!(
+            report.points_hit.contains(point),
+            "sweep never reached {point}; hit: {:?}",
+            report.points_hit
+        );
+    }
+}
+
+#[test]
+fn scalable_no_sharing_reader_reenter_vs_synchronize_is_clean() {
+    let report = sweep(|| ScalableRcu::with_sharing(false));
+    if let Some(f) = &report.failure {
+        panic!(
+            "scalable (no sharing) grace-period violation: {f}\n  replay: CITRUS_SCHEDULE={}",
+            f.schedule
+        );
+    }
+    assert_eq!(report.deadlocks, 0);
+}
+
+#[test]
+fn global_lock_reader_reenter_vs_synchronize_is_clean() {
+    let report = sweep(GlobalLockRcu::new);
+    if let Some(f) = &report.failure {
+        panic!(
+            "global-lock grace-period violation: {f}\n  replay: CITRUS_SCHEDULE={}",
+            f.schedule
+        );
+    }
+    assert_eq!(report.deadlocks, 0);
+    for point in [
+        "rcu-global-lock/read-lock/between-store-and-fence",
+        "rcu-global-lock/synchronize/phase-flip",
+        "rcu-global-lock/synchronize/reader-wait",
+    ] {
+        assert!(
+            report.points_hit.contains(point),
+            "sweep never reached {point}; hit: {:?}",
+            report.points_hit
+        );
+    }
+}
+
+/// The sweep's coverage is deterministic: same flavor, same bound, same
+/// schedule count. Pins the bound-1 count for the cheapest flavor so a
+/// silently vanished yield point fails loudly (budget-limited lanes
+/// skip the pin — an incomplete sweep has no stable count).
+#[test]
+fn global_lock_schedule_count_is_stable() {
+    let count = |_: ()| {
+        Explorer::with_bound(1).explore(|plan| {
+            let rcu = GlobalLockRcu::new();
+            let outcome = run_schedule(plan, grace_period_run(&rcu));
+            ExploredRun {
+                outcome,
+                verdict: Ok(()),
+            }
+        })
+    };
+    let first = count(());
+    let second = count(());
+    assert!(first.failure.is_none(), "bound-1 sweep must be clean");
+    assert_eq!(first.schedules, second.schedules);
+    if first.completed && second.completed {
+        assert_eq!(
+            first.schedules, 11,
+            "bound-1 schedule count drifted — a grace-period yield point \
+             appeared or vanished; re-harvest if deliberate"
+        );
+    }
+}

@@ -201,15 +201,18 @@ impl<F: RcuFlavor> Shared<F> {
         self.in_flight.fetch_add(1, Ordering::AcqRel);
         // A thread paused here has claimed callbacks that nothing else
         // can run until it proceeds — `drain` must wait for it.
-        chaos::point("reclaim/flush/before-synchronize");
-        {
+        chaos::point!("reclaim/flush/before-synchronize");
+        // Test-only mutation (exploration self-test): skipping the grace
+        // period here frees batch members while readers may still hold
+        // them — the explorer must catch it (`chaos` builds only).
+        if !chaos::mutant_enabled("reclaim/flush/skip-synchronize") {
             // One grace period covers the whole batch. Concurrent flushes
             // synchronize on the same domain and piggyback via
             // grace-period sharing instead of scanning again.
             let handle = self.rcu.register();
             handle.synchronize();
         }
-        chaos::point("reclaim/flush/after-synchronize");
+        chaos::point!("reclaim/flush/after-synchronize");
         let n = batch.len();
         for item in batch {
             // SAFETY: a grace period elapsed since enqueue; `defer`'s
@@ -222,6 +225,8 @@ impl<F: RcuFlavor> Shared<F> {
         self.metrics.batch_size.record(n as u64);
         self.metrics.freed.add(0, n as u64);
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        // A drain() blocked on this batch can now re-check.
+        chaos::wake_hint();
         n
     }
 }
@@ -304,10 +309,10 @@ impl<F: RcuFlavor> CallRcu<F> {
                     // (a threshold unpark cuts this short under bursts),
                     // then take it all behind a single grace period.
                     std::thread::park_timeout(interval);
-                    chaos::point("reclaim/worker/tick");
+                    chaos::point!("reclaim/worker/tick");
                     // A chaos plan can starve the worker to force the
                     // backpressure/drain paths.
-                    if !chaos::should_fail("reclaim/worker/skip-tick") {
+                    if !chaos::should_fail!("reclaim/worker/skip-tick") {
                         worker_shared.flush();
                     }
                 }
@@ -342,7 +347,7 @@ impl<F: RcuFlavor> CallRcu<F> {
     ///   sound (`Send`-ness of whatever `data` points to).
     /// * `run` must not call back into this domain's `flush`/`drain`.
     pub unsafe fn defer(&self, data: *mut u8, run: unsafe fn(*mut u8)) {
-        chaos::point("reclaim/defer/enqueue");
+        chaos::point!("reclaim/defer/enqueue");
         let len = {
             let mut queue = self.shared.queue.lock();
             queue.push(DeferredItem { data, run });
@@ -406,6 +411,9 @@ impl<F: RcuFlavor> CallRcu<F> {
             if self.shared.queue_len() == 0 && self.shared.in_flight.load(Ordering::Acquire) == 0 {
                 return;
             }
+            // Progress needs a concurrent flusher to finish its batch:
+            // park under a deterministic schedule until its wake hint.
+            chaos::blocked!("reclaim/drain/wait");
             std::thread::yield_now();
         }
     }

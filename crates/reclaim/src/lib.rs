@@ -370,7 +370,7 @@ impl<'d> EbrHandle<'d> {
         self.domain.metrics.record_retire(self.stripe, limbo_depth);
         // A thread paused here has pushed garbage that nothing will free
         // until its own next collect trigger or domain drop.
-        chaos::point("reclaim/retire/before-collect");
+        chaos::point!("reclaim/retire/before-collect");
         let n = self.since_collect.get() + 1;
         self.since_collect.set(n);
         if n >= COLLECT_EVERY {
@@ -387,7 +387,7 @@ impl<'d> EbrHandle<'d> {
         let global = self.domain.try_advance();
         // Between observing the advanced epoch and freeing: other threads
         // may advance further and free their own garbage concurrently.
-        chaos::point("reclaim/collect/between-advance-and-free");
+        chaos::point!("reclaim/collect/between-advance-and-free");
         let mut garbage = self.garbage.borrow_mut();
         // SAFETY: elements were retired under `retire`'s contract.
         let mut freed = unsafe { self.domain.free_expired(&mut garbage, global) };

@@ -1,0 +1,136 @@
+//! Exhaustive schedule exploration of the deferred-reclamation flush
+//! handoff: an eager-flushing enqueuer racing a `drain()` caller over
+//! the `reclaim/flush/*` window.
+//!
+//! The interesting interleaving: thread 0 takes a batch off the queue
+//! and pauses between "claimed" and "executed" (`in_flight > 0`), while
+//! thread 1's `drain()` finds the queue empty but the batch still in
+//! flight — it must park at `reclaim/drain/wait` until the flusher's
+//! wake hint, not return early and not wedge. The oracle is
+//! exactly-once execution: every deferred callback bumps its own cell,
+//! and a completed schedule must leave each cell at exactly 1 (a lost
+//! batch reads 0, a double execution reads 2).
+//!
+//! The background worker is made inert (huge interval, no wake-on-first,
+//! eager flush at threshold 1) so the two scheduled threads are the only
+//! actors — the worker thread is unregistered with the scheduler and
+//! must not race real-time decisions into a deterministic run.
+
+#![cfg(feature = "chaos")]
+
+use citrus_chaos::{run_schedule, ExploreReport, ExploredRun, Explorer};
+use citrus_rcu::GlobalLockRcu;
+use citrus_reclaim::{CallRcu, CallRcuConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Each deferred callback bumps the `AtomicUsize` its payload points at.
+unsafe fn bump(p: *mut u8) {
+    // SAFETY: every `defer` in this test passes a pointer to one of the
+    // leaked `cells` below, alive for the whole process.
+    unsafe { &*p.cast::<AtomicUsize>() }.fetch_add(1, Ordering::SeqCst);
+}
+
+fn inert_worker_config() -> CallRcuConfig {
+    CallRcuConfig {
+        batch_threshold: 1,
+        worker_interval: Duration::from_secs(3600),
+        wake_on_first: false,
+        eager_flush: true,
+    }
+}
+
+/// One deterministic run. Returns the per-callback execution counts so
+/// the caller can check the exactly-once oracle on clean completions.
+fn flush_race_run(plan: &citrus_chaos::SchedulePlan) -> ExploredRun {
+    let dom = CallRcu::with_config(Arc::new(GlobalLockRcu::new()), inert_worker_config());
+    let cells: &'static [AtomicUsize; 3] = Box::leak(Box::new([
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+    ]));
+    let cell_ptr = |i: usize| core::ptr::from_ref(&cells[i]).cast_mut().cast::<u8>();
+    let outcome = run_schedule(
+        plan,
+        vec![
+            Box::new(|| {
+                // Eager mode at threshold 1: each defer claims and
+                // flushes its own one-element batch inline.
+                // SAFETY: payloads are leaked statics; `bump` is Send-safe.
+                unsafe {
+                    dom.defer(cell_ptr(0), bump);
+                    dom.defer(cell_ptr(1), bump);
+                }
+            }),
+            Box::new(|| {
+                // SAFETY: as above.
+                unsafe { dom.defer(cell_ptr(2), bump) };
+                // Must wait out any batch thread 0 still holds in flight.
+                dom.drain();
+            }),
+        ],
+    );
+    let verdict = if outcome.clean() {
+        let counts: Vec<usize> = cells.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+        if counts.iter().all(|&c| c == 1) {
+            Ok(())
+        } else {
+            Err(format!(
+                "callbacks must run exactly once per completed schedule; counts = {counts:?}"
+            ))
+        }
+    } else {
+        Ok(())
+    };
+    ExploredRun { outcome, verdict }
+}
+
+fn sweep(bound: usize) -> ExploreReport {
+    Explorer::with_bound(bound).explore(flush_race_run)
+}
+
+#[test]
+fn eager_flush_vs_drain_is_exactly_once() {
+    let report = sweep(2);
+    if let Some(f) = &report.failure {
+        panic!(
+            "deferred flush handoff violation: {f}\n  replay: CITRUS_SCHEDULE={}",
+            f.schedule
+        );
+    }
+    assert_eq!(
+        report.deadlocks, 0,
+        "drain must never wedge on an in-flight batch"
+    );
+    for point in [
+        "reclaim/defer/enqueue",
+        "reclaim/flush/before-synchronize",
+        "reclaim/flush/after-synchronize",
+        "reclaim/drain/wait",
+    ] {
+        assert!(
+            report.points_hit.contains(point),
+            "sweep never reached {point}; hit: {:?}",
+            report.points_hit
+        );
+    }
+}
+
+/// Same determinism pin as the other explore suites: a fixed bound must
+/// enumerate a fixed number of schedules, or a flush-path yield point
+/// silently appeared/vanished (budget-limited lanes skip the pin).
+#[test]
+fn flush_schedule_count_is_stable() {
+    let first = sweep(1);
+    let second = sweep(1);
+    assert!(first.failure.is_none(), "bound-1 sweep must be clean");
+    assert_eq!(first.schedules, second.schedules);
+    if first.completed && second.completed {
+        assert_eq!(
+            first.schedules, 26,
+            "bound-1 schedule count drifted — a flush-path yield point \
+             appeared or vanished; re-harvest if deliberate"
+        );
+    }
+}

@@ -59,6 +59,10 @@ impl RawSpinLock {
             // Test-and-test-and-set: spin on a plain load so waiting threads
             // do not bounce the cache line with failed RMW attempts.
             while self.locked.load(Ordering::Relaxed) {
+                // Progress depends on the holder: under a deterministic
+                // schedule, park here until an unlock's wake hint.
+                #[cfg(feature = "chaos")]
+                citrus_chaos::blocked!("sync/spin/lock-wait");
                 backoff.snooze();
             }
             if self.try_lock() {
@@ -88,6 +92,8 @@ impl RawSpinLock {
     pub unsafe fn unlock(&self) {
         debug_assert!(self.locked.load(Ordering::Relaxed));
         self.locked.store(false, Ordering::Release);
+        #[cfg(feature = "chaos")]
+        citrus_chaos::wake_hint();
     }
 
     /// Returns `true` if the lock is currently held by some thread.
