@@ -41,7 +41,7 @@
 //! ```
 
 use crate::lincheck::{check_history, History, HistoryRecorder, RecordedOp};
-use crate::{ConcurrentMap, MapSession};
+use crate::{ConcurrentMap, MapSession, OrderedMapSession};
 use citrus_chaos::{
     run_schedule, ExploreConfig, ExploreReport, ExploredRun, Explorer, ScheduleFailure,
     SchedulePlan,
@@ -60,6 +60,12 @@ pub enum ScenarioOp {
     Get(u64),
     /// `contains(key)`.
     Contains(u64),
+    /// `range_scan(lo, hi)` (inclusive bounds).
+    Scan(u64, u64),
+    /// `successor(key)`.
+    Successor(u64),
+    /// `predecessor(key)`.
+    Predecessor(u64),
 }
 
 /// A bounded concurrent scenario: a sequential prefill plus a short
@@ -116,6 +122,7 @@ fn run_one<M, F, V>(
 ) -> ExploredRun
 where
     M: ConcurrentMap<u64, u64>,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
     F: Fn() -> M,
     V: Fn(&mut M) -> Result<(), String>,
 {
@@ -160,6 +167,15 @@ where
                             ScenarioOp::Contains(k) => {
                                 s.contains(&k);
                             }
+                            ScenarioOp::Scan(lo, hi) => {
+                                s.range_scan(&lo, &hi);
+                            }
+                            ScenarioOp::Successor(k) => {
+                                s.successor(&k);
+                            }
+                            ScenarioOp::Predecessor(k) => {
+                                s.predecessor(&k);
+                            }
                         }
                     }
                     logs.lock().unwrap().push(s.finish());
@@ -196,6 +212,7 @@ where
 pub fn explore_schedules<M, F>(make: F, scenario: &ScheduleScenario) -> ExploreReport
 where
     M: ConcurrentMap<u64, u64>,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
     F: Fn() -> M,
 {
     explore_schedules_with(make, scenario, ExploreConfig::default(), |_| Ok(()))
@@ -211,6 +228,7 @@ pub fn explore_schedules_with<M, F, V>(
 ) -> ExploreReport
 where
     M: ConcurrentMap<u64, u64>,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
     F: Fn() -> M,
     V: Fn(&mut M) -> Result<(), String>,
 {
@@ -246,6 +264,7 @@ where
 pub fn replay_schedule<M, F>(make: F, scenario: &ScheduleScenario, encoded: &str) -> ExploredRun
 where
     M: ConcurrentMap<u64, u64>,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
     F: Fn() -> M,
 {
     replay_schedule_with(make, scenario, encoded, |_| Ok(()))
@@ -264,6 +283,7 @@ pub fn replay_schedule_with<M, F, V>(
 ) -> ExploredRun
 where
     M: ConcurrentMap<u64, u64>,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
     F: Fn() -> M,
     V: Fn(&mut M) -> Result<(), String>,
 {
@@ -283,6 +303,7 @@ fn replay_env<M, F, V>(
 ) -> ExploreReport
 where
     M: ConcurrentMap<u64, u64>,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
     F: Fn() -> M,
     V: Fn(&mut M) -> Result<(), String>,
 {
@@ -332,6 +353,7 @@ fn dump_failure<M, F, V>(
 ) -> Option<PathBuf>
 where
     M: ConcurrentMap<u64, u64>,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
     F: Fn() -> M,
     V: Fn(&mut M) -> Result<(), String>,
 {
@@ -417,11 +439,56 @@ mod tests {
         }
     }
 
+    impl OrderedMapSession<u64, u64> for CoarseSession<'_> {
+        fn range_scan(&mut self, lo: &u64, hi: &u64) -> Vec<(u64, u64)> {
+            if lo > hi {
+                return Vec::new();
+            }
+            self.0
+                .inner
+                .lock()
+                .unwrap()
+                .range(*lo..=*hi)
+                .map(|(k, v)| (*k, *v))
+                .collect()
+        }
+
+        fn successor(&mut self, key: &u64) -> Option<(u64, u64)> {
+            self.0
+                .inner
+                .lock()
+                .unwrap()
+                .range((std::ops::Bound::Excluded(*key), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(k, v)| (*k, *v))
+        }
+
+        fn predecessor(&mut self, key: &u64) -> Option<(u64, u64)> {
+            self.0
+                .inner
+                .lock()
+                .unwrap()
+                .range(..*key)
+                .next_back()
+                .map(|(k, v)| (*k, *v))
+        }
+    }
+
     fn scenario() -> ScheduleScenario {
         ScheduleScenario::new("coarse-smoke")
             .prefill(&[(5, 50)])
             .thread(&[ScenarioOp::Remove(5), ScenarioOp::Get(5)])
             .thread(&[ScenarioOp::Insert(5, 51), ScenarioOp::Contains(5)])
+    }
+
+    #[test]
+    fn scan_ops_explore_clean_on_the_coarse_map() {
+        let s = ScheduleScenario::new("coarse-scan-smoke")
+            .prefill(&[(5, 50), (9, 90)])
+            .thread(&[ScenarioOp::Remove(5), ScenarioOp::Insert(7, 70)])
+            .thread(&[ScenarioOp::Scan(0, 10), ScenarioOp::Successor(5)]);
+        let report = explore_schedules(CoarseMap::default, &s);
+        report.assert_clean("coarse-scan-smoke");
     }
 
     #[test]

@@ -89,6 +89,30 @@ pub trait MapSession<K, V> {
     fn remove(&mut self, key: &K) -> bool;
 }
 
+/// Ordered reads over a [`MapSession`]: range scans and nearest-neighbour
+/// queries.
+///
+/// A dictionary is a *search tree* here, so readers can traverse
+/// multi-node regions, not just probe single keys. Every method is
+/// linearizable like the point operations: the returned entries are the
+/// map's contents over the queried region at one instant between
+/// invocation and response. Implementations that traverse live structure
+/// (Citrus) validate the traversal and restart on interference;
+/// snapshot-based structures (Bonsai) read one immutable root.
+pub trait OrderedMapSession<K, V>: MapSession<K, V> {
+    /// Returns every `(key, value)` pair with `lo <= key <= hi`, in
+    /// ascending key order. An empty range (`lo > hi`) yields no entries.
+    fn range_scan(&mut self, lo: &K, hi: &K) -> Vec<(K, V)>;
+
+    /// Returns the entry with the least key **strictly greater** than
+    /// `key`, if any.
+    fn successor(&mut self, key: &K) -> Option<(K, V)>;
+
+    /// Returns the entry with the greatest key **strictly less** than
+    /// `key`, if any.
+    fn predecessor(&mut self, key: &K) -> Option<(K, V)>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +156,56 @@ mod tests {
         fn remove(&mut self, key: &u64) -> bool {
             self.0.inner.lock().unwrap().remove(key).is_some()
         }
+    }
+
+    impl OrderedMapSession<u64, u64> for CoarseSession<'_> {
+        fn range_scan(&mut self, lo: &u64, hi: &u64) -> Vec<(u64, u64)> {
+            if lo > hi {
+                return Vec::new();
+            }
+            self.0
+                .inner
+                .lock()
+                .unwrap()
+                .range(*lo..=*hi)
+                .map(|(k, v)| (*k, *v))
+                .collect()
+        }
+
+        fn successor(&mut self, key: &u64) -> Option<(u64, u64)> {
+            self.0
+                .inner
+                .lock()
+                .unwrap()
+                .range((std::ops::Bound::Excluded(*key), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(k, v)| (*k, *v))
+        }
+
+        fn predecessor(&mut self, key: &u64) -> Option<(u64, u64)> {
+            self.0
+                .inner
+                .lock()
+                .unwrap()
+                .range(..*key)
+                .next_back()
+                .map(|(k, v)| (*k, *v))
+        }
+    }
+
+    #[test]
+    fn ordered_session_contract_on_the_reference_map() {
+        let m = CoarseMap::default();
+        let mut s = m.session();
+        for k in [5u64, 1, 9, 3] {
+            assert!(s.insert(k, k * 10));
+        }
+        assert_eq!(s.range_scan(&2, &8), vec![(3, 30), (5, 50)]);
+        assert_eq!(s.range_scan(&8, &2), vec![]);
+        assert_eq!(s.successor(&3), Some((5, 50)));
+        assert_eq!(s.successor(&9), None);
+        assert_eq!(s.predecessor(&3), Some((1, 10)));
+        assert_eq!(s.predecessor(&1), None);
     }
 
     #[test]

@@ -47,7 +47,7 @@
 //! [`RecordedSession`] logs the response event after the inner call
 //! returns, so a panicking operation simply never enters the history).
 
-use crate::{ConcurrentMap, MapSession};
+use crate::{ConcurrentMap, MapSession, OrderedMapSession};
 use citrus_chaos::{install as install_chaos, ChaosPlan};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
@@ -80,34 +80,57 @@ pub enum Op {
         /// The queried key.
         key: u64,
     },
+    /// `range_scan(lo, hi)` (inclusive bounds).
+    RangeScan {
+        /// Lower bound (inclusive).
+        lo: u64,
+        /// Upper bound (inclusive).
+        hi: u64,
+    },
+    /// `successor(key)`.
+    Successor {
+        /// The probe key (exclusive lower bound of the query).
+        key: u64,
+    },
+    /// `predecessor(key)`.
+    Predecessor {
+        /// The probe key (exclusive upper bound of the query).
+        key: u64,
+    },
 }
 
 impl Op {
-    /// The single key this operation touches (set semantics — the basis
-    /// for per-key partitioning).
+    /// The single key a *point* operation touches (the basis for per-key
+    /// partitioning), or `None` for ordered reads, which constrain a key
+    /// region instead of one key.
     #[must_use]
-    pub fn key(&self) -> u64 {
+    pub fn key(&self) -> Option<u64> {
         match *self {
             Op::Insert { key, .. }
             | Op::Remove { key }
             | Op::Get { key }
-            | Op::Contains { key } => key,
+            | Op::Contains { key } => Some(key),
+            Op::RangeScan { .. } | Op::Successor { .. } | Op::Predecessor { .. } => None,
         }
     }
 }
 
 /// A recorded response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Ret {
     /// `insert` / `remove` / `contains` result.
     Granted(bool),
     /// `get` result.
     Found(Option<u64>),
+    /// `range_scan` result: entries in ascending key order.
+    Entries(Vec<(u64, u64)>),
+    /// `successor` / `predecessor` result.
+    Entry(Option<(u64, u64)>),
 }
 
 /// One completed operation in a history: real-time interval (ticket
 /// clock), issuing thread, invocation, and response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecordedOp {
     /// Recorder lane (thread index) that issued the operation.
     pub thread: usize,
@@ -128,13 +151,18 @@ impl fmt::Display for RecordedOp {
             "[inv {:>6} → ret {:>6}] thread {}: ",
             self.inv, self.ret_at, self.thread
         )?;
-        match (self.op, self.ret) {
+        match (&self.op, &self.ret) {
             (Op::Insert { key, value }, Ret::Granted(g)) => {
                 write!(f, "insert({key}, value {value}) → {g}")
             }
             (Op::Remove { key }, Ret::Granted(g)) => write!(f, "remove({key}) → {g}"),
             (Op::Contains { key }, Ret::Granted(g)) => write!(f, "contains({key}) → {g}"),
             (Op::Get { key }, Ret::Found(v)) => write!(f, "get({key}) → {v:?}"),
+            (Op::RangeScan { lo, hi }, Ret::Entries(es)) => {
+                write!(f, "range_scan({lo}..={hi}) → {es:?}")
+            }
+            (Op::Successor { key }, Ret::Entry(e)) => write!(f, "successor({key}) → {e:?}"),
+            (Op::Predecessor { key }, Ret::Entry(e)) => write!(f, "predecessor({key}) → {e:?}"),
             (op, ret) => write!(f, "<malformed op/ret pairing {op:?} / {ret:?}>"),
         }
     }
@@ -280,22 +308,73 @@ impl<S: MapSession<u64, u64>> MapSession<u64, u64> for RecordedSession<'_, S> {
     }
 }
 
+impl<S: OrderedMapSession<u64, u64>> OrderedMapSession<u64, u64> for RecordedSession<'_, S> {
+    fn range_scan(&mut self, lo: &u64, hi: &u64) -> Vec<(u64, u64)> {
+        let inv = self.tick();
+        let r = self.inner.range_scan(lo, hi);
+        let ret_at = self.tick();
+        self.log.push(RecordedOp {
+            thread: self.thread,
+            inv,
+            ret_at,
+            op: Op::RangeScan { lo: *lo, hi: *hi },
+            ret: Ret::Entries(r.clone()),
+        });
+        r
+    }
+
+    fn successor(&mut self, key: &u64) -> Option<(u64, u64)> {
+        let inv = self.tick();
+        let r = self.inner.successor(key);
+        let ret_at = self.tick();
+        self.log.push(RecordedOp {
+            thread: self.thread,
+            inv,
+            ret_at,
+            op: Op::Successor { key: *key },
+            ret: Ret::Entry(r),
+        });
+        r
+    }
+
+    fn predecessor(&mut self, key: &u64) -> Option<(u64, u64)> {
+        let inv = self.tick();
+        let r = self.inner.predecessor(key);
+        let ret_at = self.tick();
+        self.log.push(RecordedOp {
+            thread: self.thread,
+            inv,
+            ret_at,
+            op: Op::Predecessor { key: *key },
+            ret: Ret::Entry(r),
+        });
+        r
+    }
+}
+
 /// A linearizability violation: the minimal (greedily shrunk) offending
-/// sub-history on one key.
+/// sub-history on one key component.
 #[derive(Debug, Clone)]
 pub struct NonLinearizable {
-    /// The key whose subhistory has no linearization.
-    pub key: u64,
+    /// The keys the offending sub-history touches or observed (one key
+    /// for a point-op violation; several when an ordered read is
+    /// involved).
+    pub keys: Vec<u64>,
     /// The 1-minimal non-linearizable sub-history, in invocation order.
     pub ops: Vec<RecordedOp>,
 }
 
 impl fmt::Display for NonLinearizable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let keys = self
+            .keys
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         writeln!(
             f,
-            "minimal non-linearizable sub-history on key {} ({} ops, invocation order):",
-            self.key,
+            "minimal non-linearizable sub-history on key(s) {keys} ({} ops, invocation order):",
             self.ops.len()
         )?;
         for op in &self.ops {
@@ -319,14 +398,70 @@ impl fmt::Display for NonLinearizable {
 /// `Found` response) — that is recorder corruption, not a linearizability
 /// verdict.
 fn apply(op: &RecordedOp, state: Option<u64>) -> Option<Option<u64>> {
-    match (op.op, op.ret) {
-        (Op::Insert { value, .. }, Ret::Granted(true)) => state.is_none().then_some(Some(value)),
+    match (&op.op, &op.ret) {
+        (Op::Insert { value, .. }, Ret::Granted(true)) => state.is_none().then_some(Some(*value)),
         (Op::Insert { .. }, Ret::Granted(false)) => state.is_some().then_some(state),
         (Op::Remove { .. }, Ret::Granted(true)) => state.is_some().then_some(None),
         (Op::Remove { .. }, Ret::Granted(false)) => state.is_none().then_some(None),
-        (Op::Get { .. }, Ret::Found(v)) => (state == v).then_some(state),
+        (Op::Get { .. }, Ret::Found(v)) => (state == *v).then_some(state),
         (Op::Contains { .. }, Ret::Granted(present)) => {
-            (state.is_some() == present).then_some(state)
+            (state.is_some() == *present).then_some(state)
+        }
+        (op, ret) => panic!("malformed history: op {op:?} recorded with response {ret:?}"),
+    }
+}
+
+/// Replays `op` against a multi-key sequential spec state (the map
+/// restricted to one key component); returns the post-state, or `None`
+/// when the recorded response is impossible from `state`.
+///
+/// Used for components that contain ordered reads — a `RangeScan` /
+/// `Successor` / `Predecessor` constrains a whole key region at once, so
+/// its component tracks every key in that region.
+///
+/// # Panics
+///
+/// Panics on a malformed op/ret pairing (recorder corruption).
+fn apply_multi(op: &RecordedOp, state: &BTreeMap<u64, u64>) -> Option<BTreeMap<u64, u64>> {
+    match (&op.op, &op.ret) {
+        (Op::Insert { key, value }, Ret::Granted(true)) => (!state.contains_key(key)).then(|| {
+            let mut next = state.clone();
+            next.insert(*key, *value);
+            next
+        }),
+        (Op::Insert { key, .. }, Ret::Granted(false)) => {
+            state.contains_key(key).then(|| state.clone())
+        }
+        (Op::Remove { key }, Ret::Granted(true)) => state.contains_key(key).then(|| {
+            let mut next = state.clone();
+            next.remove(key);
+            next
+        }),
+        (Op::Remove { key }, Ret::Granted(false)) => {
+            (!state.contains_key(key)).then(|| state.clone())
+        }
+        (Op::Get { key }, Ret::Found(v)) => (state.get(key).copied() == *v).then(|| state.clone()),
+        (Op::Contains { key }, Ret::Granted(present)) => {
+            (state.contains_key(key) == *present).then(|| state.clone())
+        }
+        (Op::RangeScan { lo, hi }, Ret::Entries(es)) => {
+            let expect: Vec<(u64, u64)> = if lo <= hi {
+                state.range(lo..=hi).map(|(&k, &v)| (k, v)).collect()
+            } else {
+                Vec::new()
+            };
+            (*es == expect).then(|| state.clone())
+        }
+        (Op::Successor { key }, Ret::Entry(e)) => {
+            let expect = state
+                .range((std::ops::Bound::Excluded(*key), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(&k, &v)| (k, v));
+            (*e == expect).then(|| state.clone())
+        }
+        (Op::Predecessor { key }, Ret::Entry(e)) => {
+            let expect = state.range(..*key).next_back().map(|(&k, &v)| (k, v));
+            (*e == expect).then(|| state.clone())
         }
         (op, ret) => panic!("malformed history: op {op:?} recorded with response {ret:?}"),
     }
@@ -411,8 +546,81 @@ fn dfs(
     false
 }
 
-/// Greedily shrinks a non-linearizable per-key subhistory to a 1-minimal
-/// one: repeatedly drop any operation whose removal preserves
+/// Memo key for the multi-key DFS: the done-set bitmap plus the abstract
+/// map state as a sorted entry list.
+type MultiMemo = HashSet<(Box<[u64]>, Vec<(u64, u64)>)>;
+
+/// Multi-key variant of [`is_linearizable`], for components containing
+/// ordered reads: the abstract state is the map restricted to the
+/// component's keys (a `BTreeMap`), memoized as a sorted entry list.
+fn is_linearizable_multi(ops: &[RecordedOp]) -> bool {
+    let n = ops.len();
+    if n == 0 {
+        return true;
+    }
+    let mut done = vec![0u64; n.div_ceil(64)];
+    let mut memo: MultiMemo = HashSet::new();
+    dfs_multi(ops, &mut done, 0, &BTreeMap::new(), &mut memo)
+}
+
+fn dfs_multi(
+    ops: &[RecordedOp],
+    done: &mut [u64],
+    n_done: usize,
+    state: &BTreeMap<u64, u64>,
+    memo: &mut MultiMemo,
+) -> bool {
+    if n_done == ops.len() {
+        return true;
+    }
+    let snapshot: Vec<(u64, u64)> = state.iter().map(|(&k, &v)| (k, v)).collect();
+    if !memo.insert((done.to_vec().into_boxed_slice(), snapshot)) {
+        return false;
+    }
+    // Same eligibility rule as the single-key DFS: an op may linearize
+    // next iff no *other* pending op responded before it was invoked.
+    let (mut min1, mut min1_at, mut min2) = (u64::MAX, usize::MAX, u64::MAX);
+    for (i, op) in ops.iter().enumerate() {
+        if bit(done, i) {
+            continue;
+        }
+        if op.ret_at < min1 {
+            (min2, min1, min1_at) = (min1, op.ret_at, i);
+        } else if op.ret_at < min2 {
+            min2 = op.ret_at;
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if bit(done, i) {
+            continue;
+        }
+        let earliest_other_ret = if i == min1_at { min2 } else { min1 };
+        if earliest_other_ret < op.inv {
+            continue;
+        }
+        if let Some(next) = apply_multi(op, state) {
+            set_bit(done, i);
+            if dfs_multi(ops, done, n_done + 1, &next, memo) {
+                return true;
+            }
+            clear_bit(done, i);
+        }
+    }
+    false
+}
+
+/// Dispatches a component to the cheapest sound checker: the
+/// `Option<u64>`-state DFS when every op is a point op on one key,
+/// otherwise the multi-key DFS.
+fn component_linearizable(ops: &[RecordedOp]) -> bool {
+    match ops.first().and_then(|o| o.op.key()) {
+        Some(k0) if ops.iter().all(|o| o.op.key() == Some(k0)) => is_linearizable(ops),
+        _ => is_linearizable_multi(ops),
+    }
+}
+
+/// Greedily shrinks a non-linearizable component subhistory to a
+/// 1-minimal one: repeatedly drop any operation whose removal preserves
 /// non-linearizability, until no single removal does.
 fn shrink(mut ops: Vec<RecordedOp>) -> Vec<RecordedOp> {
     loop {
@@ -421,7 +629,7 @@ fn shrink(mut ops: Vec<RecordedOp>) -> Vec<RecordedOp> {
         while i < ops.len() {
             let mut candidate = ops.clone();
             candidate.remove(i);
-            if !is_linearizable(&candidate) {
+            if !component_linearizable(&candidate) {
                 ops = candidate;
                 changed = true;
             } else {
@@ -434,28 +642,148 @@ fn shrink(mut ops: Vec<RecordedOp>) -> Vec<RecordedOp> {
     }
 }
 
+/// The keys a (shrunk) counterexample touches or observed: point-op keys
+/// plus every key an ordered read returned.
+fn touched_keys(ops: &[RecordedOp]) -> Vec<u64> {
+    let mut keys: Vec<u64> = Vec::new();
+    for op in ops {
+        if let Some(k) = op.op.key() {
+            keys.push(k);
+        }
+        match &op.ret {
+            Ret::Entries(es) => keys.extend(es.iter().map(|(k, _)| *k)),
+            Ret::Entry(Some((k, _))) => keys.push(*k),
+            _ => {}
+        }
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Disjoint-set forest over relevant-key indices (path-halving `find`).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        self.parent[ra] = rb;
+    }
+}
+
 /// Checks a recorded history for linearizability against the sequential
 /// map specification (empty initial state).
 ///
-/// The history is partitioned per key (sound for set semantics: every
-/// operation touches exactly one key, so the spec is a product of
-/// independent single-key cells and a linearization exists iff one exists
-/// per key). Each per-key subhistory runs the memoized WGL DFS; the first
-/// violating key is shrunk to a minimal counterexample.
+/// The history is partitioned into independent *key components* (sound
+/// for set semantics: the spec is a product of independent single-key
+/// cells, so a linearization exists iff one exists per component).
+/// Point ops touch exactly one key; an ordered read (`RangeScan` /
+/// `Successor` / `Predecessor`) constrains a whole key region, so every
+/// *relevant* key in its region — a key some point op touches or some
+/// ordered read returned — is unioned into one component. Keys no
+/// operation ever touches or observes are absent at every instant (the
+/// map starts empty), so they impose no cross-component constraints.
+/// Point-only components run the fast single-key WGL DFS; components
+/// with ordered reads run the multi-key variant. The first violating
+/// component is shrunk to a minimal counterexample.
 ///
 /// # Errors
 ///
-/// Returns the shrunk counterexample for the smallest violating key.
+/// Returns the shrunk counterexample for the first violating component
+/// (ordered by smallest key).
 pub fn check_history(history: &History) -> Result<(), NonLinearizable> {
-    let mut per_key: BTreeMap<u64, Vec<RecordedOp>> = BTreeMap::new();
+    // Relevant keys, sorted: point-op keys plus keys ordered reads
+    // returned.
+    let keys = touched_keys(&history.ops);
+
+    // The half-open index range of relevant keys an ordered read
+    // constrains, or `None` when it constrains no relevant key.
+    let span = |op: &Op| -> Option<(usize, usize)> {
+        match *op {
+            Op::RangeScan { lo, hi } => {
+                if lo > hi {
+                    return None;
+                }
+                let s = keys.partition_point(|&k| k < lo);
+                let e = keys.partition_point(|&k| k <= hi);
+                (s < e).then_some((s, e))
+            }
+            Op::Successor { key } => {
+                let s = keys.partition_point(|&k| k <= key);
+                (s < keys.len()).then_some((s, keys.len()))
+            }
+            Op::Predecessor { key } => {
+                let e = keys.partition_point(|&k| k < key);
+                (e > 0).then_some((0, e))
+            }
+            _ => None,
+        }
+    };
+
+    let mut uf = UnionFind::new(keys.len());
     for op in &history.ops {
-        per_key.entry(op.op.key()).or_default().push(*op);
+        if let Some((s, e)) = span(&op.op) {
+            for i in s + 1..e {
+                uf.union(s, i);
+            }
+        }
     }
-    for (key, ops) in per_key {
-        if !is_linearizable(&ops) {
+
+    // Bucket ops by component, ordered by the component's smallest key.
+    let mut components: BTreeMap<usize, Vec<RecordedOp>> = BTreeMap::new();
+    let mut min_index_of_root: BTreeMap<usize, usize> = BTreeMap::new();
+    for i in 0..keys.len() {
+        let root = uf.find(i);
+        min_index_of_root.entry(root).or_insert(i);
+    }
+    for op in &history.ops {
+        let anchor = match op.op.key() {
+            Some(k) => keys.binary_search(&k).expect("point key is relevant"),
+            None => match span(&op.op) {
+                Some((s, _)) => s,
+                None => {
+                    // The ordered read constrains no relevant key: its
+                    // whole region is untouched, hence empty at every
+                    // instant. It must have observed exactly that.
+                    if apply_multi(op, &BTreeMap::new()).is_none() {
+                        return Err(NonLinearizable {
+                            keys: touched_keys(std::slice::from_ref(op)),
+                            ops: vec![op.clone()],
+                        });
+                    }
+                    continue;
+                }
+            },
+        };
+        let root = uf.find(anchor);
+        components
+            .entry(min_index_of_root[&root])
+            .or_default()
+            .push(op.clone());
+    }
+
+    for ops in components.into_values() {
+        if !component_linearizable(&ops) {
+            let shrunk = shrink(ops);
             return Err(NonLinearizable {
-                key,
-                ops: shrink(ops),
+                keys: touched_keys(&shrunk),
+                ops: shrunk,
             });
         }
     }
@@ -568,29 +896,82 @@ fn dump_history(name: &str, seed: u64, history: &History) -> Option<PathBuf> {
     }
 }
 
-/// End-to-end linearizability check: build a fresh map with `make`, run a
-/// seeded mixed workload (`threads` × `ops_per_thread` over
-/// `[0, key_range)`), dump the recorded history to a file (see
-/// [`last_history_dump`]), and verify it with the WGL checker.
-///
-/// # Panics
-///
-/// Panics with the pretty-printed minimal counterexample (and the dump
-/// path) if the history is not linearizable.
-pub fn check_linearizable<M, F>(
-    make: F,
+/// Runs a seeded mixed workload like [`record_history`] but with ordered
+/// reads in the mix (≈30% insert / 25% remove / 15% get / 15% range scan
+/// of width ≤ 5 / 10% successor / 5% predecessor), recording every
+/// operation including the full entry lists scans returned.
+pub fn record_scan_history<M>(
+    map: &M,
     threads: usize,
     ops_per_thread: usize,
     key_range: u64,
     seed: u64,
-) where
+) -> History
+where
     M: ConcurrentMap<u64, u64>,
-    F: Fn() -> M,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
 {
-    let map = make();
-    let history = record_history(&map, threads, ops_per_thread, key_range, seed);
-    let dump = dump_history(M::NAME, seed, &history);
-    if let Err(cx) = check_history(&history) {
+    assert!(threads > 0, "at least one recording worker required");
+    let recorder = HistoryRecorder::new();
+    let barrier = Barrier::new(threads);
+    let logs: Vec<Vec<RecordedOp>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (recorder, barrier, map) = (&recorder, &barrier, &*map);
+                scope.spawn(move || {
+                    let mut rng = crate::testkit::SplitMix64::new(
+                        seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut session = recorder.wrap(t, map.session());
+                    barrier.wait();
+                    for i in 0..ops_per_thread {
+                        let key = rng.below(key_range);
+                        match rng.below(20) {
+                            0..=5 => {
+                                session.insert(key, ((t as u64) << 32) | i as u64);
+                            }
+                            6..=10 => {
+                                session.remove(&key);
+                            }
+                            11..=13 => {
+                                session.get(&key);
+                            }
+                            14..=16 => {
+                                let hi = key + rng.below(5);
+                                session.range_scan(&key, &hi);
+                            }
+                            17..=18 => {
+                                session.successor(&key);
+                            }
+                            _ => {
+                                session.predecessor(&key);
+                            }
+                        }
+                    }
+                    session.finish()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("recording worker panicked"))
+            .collect()
+    });
+    History::from_thread_logs(logs)
+}
+
+/// Shared verdict handling for the end-to-end drivers: dump, check,
+/// panic with the minimal counterexample on violation.
+fn verify_recorded(
+    name: &str,
+    threads: usize,
+    ops_per_thread: usize,
+    key_range: u64,
+    seed: u64,
+    history: &History,
+) {
+    let dump = dump_history(name, seed, history);
+    if let Err(cx) = check_history(history) {
         let dump_note = match &dump {
             Some(path) => {
                 // Append the counterexample to the dump so the artifact is
@@ -613,11 +994,58 @@ pub fn check_linearizable<M, F>(
             None => String::new(),
         };
         panic!(
-            "non-linearizable history for {} (seed {seed:#x}, {threads} threads × \
-             {ops_per_thread} ops, keys [0, {key_range})):\n{cx}\n{dump_note}{recipe_note}",
-            M::NAME
+            "non-linearizable history for {name} (seed {seed:#x}, {threads} threads × \
+             {ops_per_thread} ops, keys [0, {key_range})):\n{cx}\n{dump_note}{recipe_note}"
         );
     }
+}
+
+/// End-to-end linearizability check: build a fresh map with `make`, run a
+/// seeded mixed workload (`threads` × `ops_per_thread` over
+/// `[0, key_range)`), dump the recorded history to a file (see
+/// [`last_history_dump`]), and verify it with the WGL checker.
+///
+/// # Panics
+///
+/// Panics with the pretty-printed minimal counterexample (and the dump
+/// path) if the history is not linearizable.
+pub fn check_linearizable<M, F>(
+    make: F,
+    threads: usize,
+    ops_per_thread: usize,
+    key_range: u64,
+    seed: u64,
+) where
+    M: ConcurrentMap<u64, u64>,
+    F: Fn() -> M,
+{
+    let map = make();
+    let history = record_history(&map, threads, ops_per_thread, key_range, seed);
+    verify_recorded(M::NAME, threads, ops_per_thread, key_range, seed, &history);
+}
+
+/// [`check_linearizable`] with ordered reads in the workload mix (see
+/// [`record_scan_history`]): verifies that range scans, successors, and
+/// predecessors linearize together with the concurrent point updates.
+///
+/// # Panics
+///
+/// Panics with the pretty-printed minimal counterexample if the history
+/// is not linearizable.
+pub fn check_linearizable_scans<M, F>(
+    make: F,
+    threads: usize,
+    ops_per_thread: usize,
+    key_range: u64,
+    seed: u64,
+) where
+    M: ConcurrentMap<u64, u64>,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
+    F: Fn() -> M,
+{
+    let map = make();
+    let history = record_scan_history(&map, threads, ops_per_thread, key_range, seed);
+    verify_recorded(M::NAME, threads, ops_per_thread, key_range, seed, &history);
 }
 
 /// Sweeps `count` consecutive chaos schedule seeds starting at
@@ -652,24 +1080,76 @@ pub fn sweep_lincheck_chaos_seeds<M, F>(
     }
 }
 
-/// Worker count for lincheck runs: `CITRUS_LIN_THREADS` when set and
-/// parseable, otherwise `default`. Lets CI bound history width.
+/// Like [`sweep_lincheck_chaos_seeds`] but over the scan workload: each
+/// seed installs a [`ChaosPlan`] and runs [`check_linearizable_scans`]
+/// with the same seed driving the workload.
+pub fn sweep_lincheck_scan_chaos_seeds<M, F>(
+    make: F,
+    threads: usize,
+    ops_per_thread: usize,
+    key_range: u64,
+    base_seed: u64,
+    count: u64,
+) where
+    M: ConcurrentMap<u64, u64>,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
+    F: Fn() -> M,
+{
+    for i in 0..count {
+        let seed = base_seed.wrapping_add(i);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _chaos = install_chaos(ChaosPlan::from_seed(seed));
+            check_linearizable_scans(&make, threads, ops_per_thread, key_range, seed);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "[citrus-lincheck] chaos seed {seed:#x} produced a non-linearizable scan \
+                 history — replay with check_linearizable_scans under \
+                 ChaosPlan::from_seed({seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Parses an env-knob value, aborting with the variable name, raw value,
+/// and parse error on malformed input. A typo'd knob must fail the run
+/// loudly, not silently fall back to a default that changes what the run
+/// covers.
+fn parse_usize_knob(name: &str, raw: &str) -> usize {
+    raw.trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("invalid {name}={raw:?}: {e} (expected an unsigned integer)"))
+}
+
+/// Worker count for lincheck runs: `CITRUS_LIN_THREADS` when set,
+/// otherwise `default`. Lets CI bound history width.
+///
+/// # Panics
+///
+/// Panics if the variable is set but not an unsigned integer.
 #[must_use]
 pub fn lin_threads(default: usize) -> usize {
     match std::env::var("CITRUS_LIN_THREADS") {
-        Ok(v) => v.trim().parse().unwrap_or(default),
-        Err(_) => default,
+        Ok(raw) => parse_usize_knob("CITRUS_LIN_THREADS", &raw),
+        Err(std::env::VarError::NotPresent) => default,
+        Err(e) => panic!("invalid CITRUS_LIN_THREADS: {e}"),
     }
 }
 
 /// Per-thread operation count for lincheck runs: `CITRUS_LIN_OPS` when
-/// set and parseable, otherwise `default`. Lets CI bound history length
-/// (the checker's search grows with ops per key).
+/// set, otherwise `default`. Lets CI bound history length (the checker's
+/// search grows with ops per key).
+///
+/// # Panics
+///
+/// Panics if the variable is set but not an unsigned integer.
 #[must_use]
 pub fn lin_ops(default: usize) -> usize {
     match std::env::var("CITRUS_LIN_OPS") {
-        Ok(v) => v.trim().parse().unwrap_or(default),
-        Err(_) => default,
+        Ok(raw) => parse_usize_knob("CITRUS_LIN_OPS", &raw),
+        Err(std::env::VarError::NotPresent) => default,
+        Err(e) => panic!("invalid CITRUS_LIN_OPS: {e}"),
     }
 }
 
@@ -755,7 +1235,7 @@ mod tests {
         // order can make the second insert's precondition hold.
         let h = history(vec![ins(0, 0, 3, 7, 1, true), ins(1, 1, 2, 7, 2, true)]);
         let err = check_history(&h).unwrap_err();
-        assert_eq!(err.key, 7);
+        assert_eq!(err.keys, vec![7]);
         assert_eq!(err.ops.len(), 2, "both grants are needed: {err}");
     }
 
@@ -765,7 +1245,7 @@ mod tests {
         // stale read. The linearization may not reorder across real time.
         let h = history(vec![ins(0, 0, 1, 9, 5, true), get(1, 2, 3, 9, None)]);
         let err = check_history(&h).unwrap_err();
-        assert_eq!(err.key, 9);
+        assert_eq!(err.keys, vec![9]);
     }
 
     #[test]
@@ -810,8 +1290,8 @@ mod tests {
             get(0, 8, 9, 2, Some(7)),
         ]);
         let err = check_history(&h).unwrap_err();
-        assert_eq!(err.key, 1);
-        assert!(err.ops.iter().all(|o| o.op.key() == 1));
+        assert_eq!(err.keys, vec![1]);
+        assert!(err.ops.iter().all(|o| o.op.key() == Some(1)));
     }
 
     #[test]
@@ -851,9 +1331,159 @@ mod tests {
         ]))
         .unwrap_err();
         let text = format!("{err}");
-        assert!(text.contains("key 9"), "{text}");
+        assert!(text.contains("key(s) 9"), "{text}");
         assert!(text.contains("insert(9, value 5) → true"), "{text}");
         assert!(text.contains("get(9) → None"), "{text}");
+    }
+
+    // ---- range-op histories (ordered reads) -------------------------
+
+    fn scan(
+        t: usize,
+        inv: u64,
+        ret_at: u64,
+        lo: u64,
+        hi: u64,
+        entries: Vec<(u64, u64)>,
+    ) -> RecordedOp {
+        rec(
+            t,
+            inv,
+            ret_at,
+            Op::RangeScan { lo, hi },
+            Ret::Entries(entries),
+        )
+    }
+
+    fn suc(t: usize, inv: u64, ret_at: u64, key: u64, e: Option<(u64, u64)>) -> RecordedOp {
+        rec(t, inv, ret_at, Op::Successor { key }, Ret::Entry(e))
+    }
+
+    fn pred(t: usize, inv: u64, ret_at: u64, key: u64, e: Option<(u64, u64)>) -> RecordedOp {
+        rec(t, inv, ret_at, Op::Predecessor { key }, Ret::Entry(e))
+    }
+
+    #[test]
+    fn sequential_scans_are_linearizable() {
+        let h = history(vec![
+            ins(0, 0, 1, 10, 1, true),
+            ins(0, 2, 3, 30, 3, true),
+            scan(0, 4, 5, 0, 100, vec![(10, 1), (30, 3)]),
+            rem(0, 6, 7, 10, true),
+            scan(0, 8, 9, 0, 100, vec![(30, 3)]),
+            scan(0, 10, 11, 0, 9, vec![]),
+            suc(0, 12, 13, 10, Some((30, 3))),
+            pred(0, 14, 15, 30, None),
+        ]);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn scan_over_untouched_region_is_trivially_linearizable() {
+        // No point op and no observation touches [0, 100]; the scan's
+        // region is empty at every instant.
+        let h = history(vec![scan(0, 0, 1, 0, 100, vec![])]);
+        assert!(check_history(&h).is_ok());
+        // An inverted range must also come back empty.
+        let h = history(vec![scan(0, 0, 1, 100, 0, vec![])]);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn phantom_scan_entry_is_rejected() {
+        // The scan observes a key no insert ever granted.
+        let h = history(vec![scan(0, 0, 1, 50, 60, vec![(55, 9)])]);
+        let err = check_history(&h).unwrap_err();
+        assert_eq!(err.ops.len(), 1, "{err}");
+        assert_eq!(err.keys, vec![55]);
+    }
+
+    #[test]
+    fn overlapping_scan_may_see_either_side_of_an_insert() {
+        // Scan overlaps the insert: both the empty and the one-entry
+        // result are valid linearizations.
+        for entries in [vec![], vec![(10, 1)]] {
+            let h = history(vec![
+                ins(0, 0, 5, 10, 1, true),
+                scan(1, 1, 4, 0, 100, entries),
+            ]);
+            assert!(check_history(&h).is_ok());
+        }
+    }
+
+    #[test]
+    fn torn_scan_missing_a_present_key_is_rejected() {
+        // Key 10 is present for the scan's whole window (insert completed
+        // before it, no remove anywhere), yet the scan reports the range
+        // empty — the signature of an unvalidated torn traversal.
+        let h = history(vec![
+            ins(0, 0, 1, 10, 1, true),
+            scan(1, 2, 3, 0, 100, vec![]),
+        ]);
+        let err = check_history(&h).unwrap_err();
+        assert!(err.ops.len() <= 3, "want a small core: {err}");
+        assert_eq!(err.keys, vec![10]);
+        // 1-minimality: removing either op restores linearizability.
+        for i in 0..err.ops.len() {
+            let mut fewer = err.ops.clone();
+            fewer.remove(i);
+            assert!(
+                check_history(&history(fewer)).is_ok(),
+                "not 1-minimal: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_scan_across_a_remove_insert_pair_is_rejected() {
+        // Writer removes 10 then inserts 25 (non-overlapping, in that
+        // real-time order). A scan overlapping both reports BOTH 10 and
+        // 25 present — no single instant has that contents.
+        let h = history(vec![
+            ins(0, 0, 1, 10, 1, true),
+            rem(0, 2, 5, 10, true),
+            ins(0, 6, 9, 25, 2, true),
+            scan(1, 4, 8, 0, 100, vec![(10, 1), (25, 2)]),
+        ]);
+        let err = check_history(&h).unwrap_err();
+        assert!(err.ops.len() <= 3, "want ≤3 ops: {err}");
+    }
+
+    #[test]
+    fn stale_successor_is_rejected_and_merges_the_component() {
+        // successor(5) → None strictly after insert(10) completed: the
+        // directed read constrains every key above 5, so its component
+        // includes key 10 and the violation is caught.
+        let h = history(vec![ins(0, 0, 1, 10, 1, true), suc(1, 2, 3, 5, None)]);
+        let err = check_history(&h).unwrap_err();
+        assert_eq!(err.keys, vec![10]);
+        // The overlapping variant is fine (successor before insert).
+        let h = history(vec![ins(0, 0, 3, 10, 1, true), suc(1, 1, 2, 5, None)]);
+        assert!(check_history(&h).is_ok());
+    }
+
+    #[test]
+    fn stale_predecessor_is_rejected() {
+        let h = history(vec![
+            ins(0, 0, 1, 10, 1, true),
+            rem(0, 2, 3, 10, true),
+            pred(1, 4, 5, 50, Some((10, 1))),
+        ]);
+        assert!(check_history(&h).is_err());
+    }
+
+    #[test]
+    fn scans_only_merge_the_keys_they_constrain() {
+        // Key 1 carries a violation; the scan only spans [10, 30], so the
+        // counterexample must stay on key 1.
+        let h = history(vec![
+            ins(0, 0, 1, 1, 7, true),
+            ins(0, 2, 3, 20, 8, true),
+            scan(0, 4, 5, 10, 30, vec![(20, 8)]),
+            get(1, 6, 7, 1, None), // stale
+        ]);
+        let err = check_history(&h).unwrap_err();
+        assert_eq!(err.keys, vec![1]);
     }
 
     #[test]
@@ -905,6 +1535,41 @@ mod tests {
         }
     }
 
+    impl OrderedMapSession<u64, u64> for CoarseSession<'_> {
+        fn range_scan(&mut self, lo: &u64, hi: &u64) -> Vec<(u64, u64)> {
+            if lo > hi {
+                return Vec::new();
+            }
+            self.0
+                .inner
+                .lock()
+                .unwrap()
+                .range(*lo..=*hi)
+                .map(|(k, v)| (*k, *v))
+                .collect()
+        }
+
+        fn successor(&mut self, key: &u64) -> Option<(u64, u64)> {
+            self.0
+                .inner
+                .lock()
+                .unwrap()
+                .range((std::ops::Bound::Excluded(*key), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(k, v)| (*k, *v))
+        }
+
+        fn predecessor(&mut self, key: &u64) -> Option<(u64, u64)> {
+            self.0
+                .inner
+                .lock()
+                .unwrap()
+                .range(..*key)
+                .next_back()
+                .map(|(k, v)| (*k, *v))
+        }
+    }
+
     #[test]
     fn recorder_intervals_nest_and_order_per_thread() {
         let map = CoarseMap::default();
@@ -929,6 +1594,39 @@ mod tests {
     #[test]
     fn correct_map_passes_end_to_end() {
         check_linearizable(CoarseMap::default, 4, 150, 16, 0x11C4EC);
+    }
+
+    #[test]
+    fn correct_map_passes_the_scan_workload_end_to_end() {
+        check_linearizable_scans(CoarseMap::default, 3, 120, 16, 0x5CA11);
+    }
+
+    #[test]
+    fn scan_recorder_logs_full_entry_lists() {
+        let map = CoarseMap::default();
+        let history = record_scan_history(&map, 2, 80, 12, 0x5CA12);
+        assert_eq!(history.ops.len(), 160);
+        assert!(
+            history
+                .ops
+                .iter()
+                .any(|o| matches!(o.op, Op::RangeScan { .. })),
+            "workload mix must include range scans"
+        );
+        assert!(
+            history
+                .ops
+                .iter()
+                .any(|o| matches!(o.op, Op::Successor { .. } | Op::Predecessor { .. })),
+            "workload mix must include directed reads"
+        );
+        assert!(check_history(&history).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CITRUS_LIN_THREADS")]
+    fn malformed_env_knob_is_a_hard_error() {
+        parse_usize_knob("CITRUS_LIN_THREADS", "not-a-number");
     }
 
     #[test]

@@ -523,15 +523,26 @@ pub fn check_counter_dominates(
 }
 
 /// Iteration count for concurrent/stress tests: the value of the
-/// `CITRUS_STRESS_ITERS` environment variable when set and parseable,
-/// otherwise `default`.
+/// `CITRUS_STRESS_ITERS` environment variable when set, otherwise
+/// `default`. A malformed value is a hard error — a soak run configured
+/// with `CITRUS_STRESS_ITERS=1O000` must fail loudly, not quietly run the
+/// default volume and report a clean soak that never happened.
 ///
 /// Lets CI dial the whole suite's stress volume up (soak runs) or down
 /// (sanitizer builds) without touching individual tests.
 pub fn stress_iters(default: u64) -> u64 {
-    match std::env::var("CITRUS_STRESS_ITERS") {
-        Ok(v) => v.trim().parse().unwrap_or(default),
-        Err(_) => default,
+    env_u64_knob("CITRUS_STRESS_ITERS", default)
+}
+
+/// Shared hard-error reader for numeric testkit knobs.
+fn env_u64_knob(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(raw) => match raw.trim().parse() {
+            Ok(v) => v,
+            Err(e) => panic!("invalid {name}={raw:?}: {e} (expected an unsigned integer)"),
+        },
+        Err(std::env::VarError::NotPresent) => default,
+        Err(e) => panic!("invalid {name}: {e}"),
     }
 }
 
@@ -557,10 +568,7 @@ impl Drop for StressWatchdog {
 /// CI until the runner's global timeout reaps it with no indication of
 /// which test wedged.
 pub fn stress_watchdog(test: &str) -> StressWatchdog {
-    let timeout_secs = match std::env::var("CITRUS_STRESS_TIMEOUT_SECS") {
-        Ok(v) => v.trim().parse().unwrap_or(300),
-        Err(_) => 300,
-    };
+    let timeout_secs = env_u64_knob("CITRUS_STRESS_TIMEOUT_SECS", 300);
     let state = Arc::new((Mutex::new(false), Condvar::new()));
     if timeout_secs > 0 {
         let pair = Arc::clone(&state);

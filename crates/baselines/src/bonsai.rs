@@ -22,7 +22,7 @@
 //! paper's no-reclamation methodology).
 
 use crate::graveyard::Graveyard;
-use citrus_api::{ConcurrentMap, MapSession};
+use citrus_api::{ConcurrentMap, MapSession, OrderedMapSession};
 use citrus_chaos as chaos;
 use citrus_rcu::{RcuFlavor, RcuHandle, ScalableRcu};
 use citrus_sync::SpinMutex;
@@ -284,6 +284,25 @@ impl<K, V, F: RcuFlavor> fmt::Debug for BonsaiSession<'_, K, V, F> {
     }
 }
 
+impl<K, V, F> BonsaiSession<'_, K, V, F>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    F: RcuFlavor,
+{
+    /// Ordered reads come for free from Bonsai's functional design: the
+    /// root loaded at the start of the read-side critical section is an
+    /// immutable snapshot of the entire tree, so a bounded in-order walk
+    /// needs no validation and never restarts. The load of `root` is the
+    /// linearization point.
+    fn snapshot_walk<T>(&mut self, visit: impl FnOnce(*mut BNode<K, V>) -> T) -> T {
+        let _g = self.rcu.read_lock();
+        let root = self.tree.root.load(Ordering::Acquire);
+        chaos::point!("baseline-bonsai/scan/snapshot");
+        visit(root)
+    }
+}
+
 impl<K, V, F> MapSession<K, V> for BonsaiSession<'_, K, V, F>
 where
     K: Ord + Clone + Send + Sync,
@@ -334,6 +353,85 @@ where
             }
             None => false,
         }
+    }
+}
+
+impl<K, V, F> OrderedMapSession<K, V> for BonsaiSession<'_, K, V, F>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    F: RcuFlavor,
+{
+    fn range_scan(&mut self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        if lo > hi {
+            return Vec::new();
+        }
+        self.snapshot_walk(|root| {
+            // Bounded in-order walk of the immutable snapshot, pruning
+            // subtrees that cannot intersect `[lo, hi]`.
+            let mut out = Vec::new();
+            let mut stack: Vec<*mut BNode<K, V>> = Vec::new();
+            let mut cur = root;
+            // SAFETY: snapshot traversal; nodes immutable and never freed
+            // before the tree drops.
+            unsafe {
+                loop {
+                    while !cur.is_null() {
+                        if (*cur).key < *lo {
+                            cur = (*cur).right;
+                        } else {
+                            stack.push(cur);
+                            cur = (*cur).left;
+                        }
+                    }
+                    let Some(node) = stack.pop() else { break };
+                    if (*node).key > *hi {
+                        break;
+                    }
+                    out.push(((*node).key.clone(), (*node).value.clone()));
+                    cur = (*node).right;
+                }
+            }
+            out
+        })
+    }
+
+    fn successor(&mut self, key: &K) -> Option<(K, V)> {
+        self.snapshot_walk(|root| {
+            let mut best: Option<(K, V)> = None;
+            let mut cur = root;
+            // SAFETY: snapshot traversal as above.
+            unsafe {
+                while !cur.is_null() {
+                    if (*cur).key > *key {
+                        best = Some(((*cur).key.clone(), (*cur).value.clone()));
+                        cur = (*cur).left;
+                    } else {
+                        cur = (*cur).right;
+                    }
+                }
+            }
+            best
+        })
+    }
+
+    fn predecessor(&mut self, key: &K) -> Option<(K, V)> {
+        self.snapshot_walk(|root| {
+            let mut best: Option<(K, V)> = None;
+            let mut cur = root;
+            // SAFETY: snapshot traversal as above.
+            unsafe {
+                while !cur.is_null() {
+                    if (*cur).key < *key {
+                        best = Some(((*cur).key.clone(), (*cur).value.clone()));
+                        cur = (*cur).right;
+                    } else {
+                        cur = (*cur).left;
+                    }
+                }
+            }
+            best
+        })
     }
 }
 
@@ -430,6 +528,29 @@ mod tests {
             tree.arena_len() > after_inserts,
             "deletes must also path-copy"
         );
+    }
+
+    #[test]
+    fn ordered_reads_on_snapshots() {
+        let tree = Tree::new();
+        let mut s = tree.session();
+        for k in 0..100u64 {
+            s.insert(k * 10, k);
+        }
+        let scan = s.range_scan(&100, &190);
+        assert_eq!(scan.len(), 10);
+        assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(scan.first(), Some(&(100, 10)));
+        assert_eq!(scan.last(), Some(&(190, 19)));
+        assert_eq!(s.range_scan(&191, &199), vec![]);
+        assert_eq!(s.range_scan(&190, &100), vec![]);
+        assert_eq!(s.successor(&105), Some((110, 11)));
+        assert_eq!(s.successor(&990), None);
+        assert_eq!(s.predecessor(&105), Some((100, 10)));
+        assert_eq!(s.predecessor(&0), None);
+        // Full-range scan matches the whole contents, in order.
+        let all = s.range_scan(&0, &u64::MAX);
+        assert_eq!(all.len(), 100);
     }
 
     #[test]

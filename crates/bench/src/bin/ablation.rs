@@ -93,12 +93,13 @@ fn main() {
     );
 
     println!("D5 — grace-period sharing (4 concurrent synchronizers, 2 readers):");
-    let dur = Duration::from_millis(
-        std::env::var("CITRUS_DURATION_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(200),
-    );
+    let dur = Duration::from_millis(match std::env::var("CITRUS_DURATION_MS") {
+        Ok(raw) => raw.trim().parse().unwrap_or_else(|e| {
+            panic!("invalid CITRUS_DURATION_MS={raw:?}: {e} (expected milliseconds)")
+        }),
+        Err(std::env::VarError::NotPresent) => 200,
+        Err(e) => panic!("invalid CITRUS_DURATION_MS: {e}"),
+    });
     fn d5_row<F: RcuFlavor>(label: &str, rcu: &F, dur: Duration) {
         let cell = synchronize_storm(rcu, 4, 2, dur);
         println!(

@@ -36,10 +36,16 @@ fn load(path: &str) -> benchjson::Json {
 }
 
 fn main() {
-    let mut threshold = std::env::var("CITRUS_BENCH_GATE_PCT")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(gate::DEFAULT_MAX_DROP_PCT);
+    let mut threshold = match std::env::var("CITRUS_BENCH_GATE_PCT") {
+        Ok(raw) => match raw.trim().parse() {
+            Ok(pct) => pct,
+            Err(_) => fail_usage(&format!(
+                "invalid CITRUS_BENCH_GATE_PCT={raw:?}: expected a numeric percentage"
+            )),
+        },
+        Err(std::env::VarError::NotPresent) => gate::DEFAULT_MAX_DROP_PCT,
+        Err(e) => fail_usage(&format!("invalid CITRUS_BENCH_GATE_PCT: {e}")),
+    };
     let mut paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {

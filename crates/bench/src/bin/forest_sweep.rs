@@ -13,14 +13,21 @@
 //! The deferred axis takes the grace-period wait off the delete path
 //! entirely (per-shard `call_rcu` batches, DESIGN.md §6g).
 //!
+//! A second grid measures whole-forest validated `range_scan` throughput
+//! per shard count (`scan_cells` in the JSON): hash routing makes point
+//! operations shard-local, but an ordered read must fan out to every
+//! shard and validate all the per-shard traversals together, so its
+//! throughput is expected to fall as shards grow — the documented cost
+//! model of DESIGN.md §6i.
+//!
 //! Flags: `--shards N[,M,...]` overrides the shard sweep, `--metrics` is
 //! accepted for uniformity with the fig binaries.
 //!
 //! [`CitrusForest`]: citrus::CitrusForest
 
 use citrus_bench::{banner, benchjson, config_from_env_and_args};
-use citrus_harness::experiments::forest_sweep;
-use citrus_harness::ForestCell;
+use citrus_harness::experiments::{forest_scan_sweep, forest_sweep};
+use citrus_harness::{ForestCell, ForestScanCell};
 use std::fmt::Write as _;
 
 /// Satellite record: the `Node` hot-head cache-alignment change that rode
@@ -143,6 +150,49 @@ fn cell_json(c: &ForestCell) -> String {
     )
 }
 
+fn print_scan_grid(cells: &[ForestScanCell], shards: &[usize]) {
+    let (scanners, updaters, span) = cells
+        .first()
+        .map_or((0, 0, 0), |c| (c.scanners, c.updaters, c.span));
+    println!(
+        "== whole-forest range scans, {scanners} scanners vs {updaters} updaters, span {span} =="
+    );
+    print!("{:<22}", "flavor \\ shards");
+    for s in shards {
+        print!("{s:>10}");
+    }
+    println!();
+    for flavor in ["rcu-scalable", "rcu-global-lock"] {
+        print!("{flavor:<22}");
+        for &s in shards {
+            match cells.iter().find(|c| c.flavor == flavor && c.shards == s) {
+                Some(c) => print!("{:>10}", fmt_ops(c.scans_per_s)),
+                None => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "(expected: scans/s falls with shard count — every scan must fan out to\n\
+         all shards and validate them together, the price of hash routing for\n\
+         ordered reads; point ops in the grid above pay no such tax)\n"
+    );
+}
+
+fn scan_cell_json(c: &ForestScanCell) -> String {
+    format!(
+        "{{\"flavor\": \"{}\", \"shards\": {}, \"scanners\": {}, \"updaters\": {}, \
+         \"span\": {}, \"scans_per_s\": {}, \"restarts\": {}}}",
+        benchjson::esc(c.flavor),
+        c.shards,
+        c.scanners,
+        c.updaters,
+        c.span,
+        benchjson::num(c.scans_per_s),
+        c.restarts
+    )
+}
+
 fn main() {
     banner("Forest shard sweep — per-shard RCU/EBR grace-period domains");
     let cfg = config_from_env_and_args();
@@ -152,6 +202,9 @@ fn main() {
     for contains_pct in [50u32, 0] {
         print_grid(&cells, contains_pct, &shards);
     }
+
+    let scan_cells = forest_scan_sweep(&cfg);
+    print_scan_grid(&scan_cells, &shards);
 
     let mut body = String::new();
     let _ = write!(
@@ -167,6 +220,15 @@ fn main() {
             "{}\n    {}",
             if i == 0 { "" } else { "," },
             cell_json(c)
+        );
+    }
+    body.push_str("\n  ],\n  \"scan_cells\": [");
+    for (i, c) in scan_cells.iter().enumerate() {
+        let _ = write!(
+            body,
+            "{}\n    {}",
+            if i == 0 { "" } else { "," },
+            scan_cell_json(c)
         );
     }
     body.push_str("\n  ]\n}\n");

@@ -11,7 +11,10 @@
 //!    delete hot path) or enqueue on a `call_rcu` batch queue whose
 //!    worker amortizes one grace period over the whole batch
 //!    (DESIGN.md §6g). The clock includes the final drain, so every
-//!    counted retirement was actually freed.
+//!    counted retirement was actually freed;
+//! 4. validated range-scan storm: linearizable `range_scan` throughput on
+//!    a Citrus tree as updater churn grows, with the validation-restart
+//!    counts that price the guarantee (DESIGN.md §6i).
 //!
 //! The global-lock flavor's synchronize rate should flatten (callers
 //! serialize); the scalable flavor's aggregate rate should not — and with
@@ -25,7 +28,9 @@
 //! make the run fail unless the widest sharing-on cell of each flavor
 //! piggybacked at least once (used as a CI smoke assertion).
 
-use citrus_bench::{benchjson, retire_storm, synchronize_storm, RetireCell, StormCell};
+use citrus_bench::{
+    benchjson, retire_storm, scan_storm, synchronize_storm, RetireCell, ScanCell, StormCell,
+};
 use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle, ScalableRcu};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -34,6 +39,10 @@ use std::time::{Duration, Instant};
 const SYNCERS: [usize; 4] = [1, 2, 4, 8];
 const READERS: usize = 2;
 const RETIRE_UPDATERS: [usize; 2] = [1, 4];
+const SCANNERS: usize = 2;
+const SCAN_UPDATERS: [usize; 3] = [0, 1, 4];
+const SCAN_KEY_RANGE: u64 = 20_000;
+const SCAN_SPAN: u64 = 256;
 
 fn read_side_cost<F: RcuFlavor>() -> f64 {
     let rcu = F::new();
@@ -91,10 +100,25 @@ fn print_retire_row(label: &str, cells: &[RetireCell]) {
 }
 
 fn env_flag(name: &str) -> bool {
-    matches!(
-        std::env::var(name).ok().as_deref().map(str::trim),
-        Some("1" | "true" | "yes")
-    )
+    match std::env::var(name) {
+        Ok(raw) => match raw.trim() {
+            "1" | "true" | "yes" => true,
+            "" | "0" | "false" | "no" => false,
+            other => panic!("invalid {name}={other:?}: expected 1/true/yes or 0/false/no"),
+        },
+        Err(std::env::VarError::NotPresent) => false,
+        Err(e) => panic!("invalid {name}: {e}"),
+    }
+}
+
+fn env_duration_ms(default: u64) -> Duration {
+    Duration::from_millis(match std::env::var("CITRUS_DURATION_MS") {
+        Ok(raw) => raw.trim().parse().unwrap_or_else(|e| {
+            panic!("invalid CITRUS_DURATION_MS={raw:?}: {e} (expected milliseconds)")
+        }),
+        Err(std::env::VarError::NotPresent) => default,
+        Err(e) => panic!("invalid CITRUS_DURATION_MS: {e}"),
+    })
 }
 
 fn main() {
@@ -105,12 +129,7 @@ fn main() {
     println!("  {:<18} {read_scalable:>8.1}", ScalableRcu::NAME);
     println!("  {:<18} {read_global:>8.1}", GlobalLockRcu::NAME);
 
-    let dur = Duration::from_millis(
-        std::env::var("CITRUS_DURATION_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(200),
-    );
+    let dur = env_duration_ms(200);
     println!(
         "\nsynchronize_rcu storm: aggregate completions/s ({READERS} background \
          readers, {dur:?}/cell):"
@@ -195,6 +214,49 @@ fn main() {
          whole batch instead of paying one per object (DESIGN.md §6g)."
     );
 
+    println!(
+        "\nvalidated range scans: scans/s ({SCANNERS} scanners, span {SCAN_SPAN} of \
+         [0,{SCAN_KEY_RANGE}], {dur:?}/cell):"
+    );
+    print!("{:<28}", "flavor \\ updaters");
+    for n in SCAN_UPDATERS {
+        print!("{n:>14}");
+    }
+    println!();
+    let scan_rows: Vec<(&str, Vec<ScanCell>)> = vec![
+        (
+            ScalableRcu::NAME,
+            SCAN_UPDATERS
+                .iter()
+                .map(|&u| scan_storm::<ScalableRcu>(SCANNERS, u, SCAN_KEY_RANGE, SCAN_SPAN, dur))
+                .collect(),
+        ),
+        (
+            GlobalLockRcu::NAME,
+            SCAN_UPDATERS
+                .iter()
+                .map(|&u| scan_storm::<GlobalLockRcu>(SCANNERS, u, SCAN_KEY_RANGE, SCAN_SPAN, dur))
+                .collect(),
+        ),
+    ];
+    for (name, cells) in &scan_rows {
+        print!("{name:<28}");
+        for c in cells {
+            print!("{:>14.0}", c.scans_per_s);
+        }
+        print!("   restarts:");
+        for c in cells {
+            print!(" {}", c.restarts);
+        }
+        println!();
+    }
+    println!(
+        "\nexpected: scan throughput dips as updater churn grows — each edge\n\
+         the traversal recorded must still be intact at collection end, so\n\
+         interfering writers force restarts (the restart counts above) but\n\
+         never a torn result (DESIGN.md §6i)."
+    );
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -241,6 +303,31 @@ fn main() {
                 c.updaters,
                 benchjson::num(c.retires_per_s),
                 c.grace_periods,
+            );
+            first = false;
+        }
+    }
+    json.push_str("\n    ]\n  },\n");
+    let _ = write!(
+        json,
+        "  \"scan\": {{\n    \"duration_ms\": {},\n    \"scanners\": {SCANNERS},\n    \
+         \"key_range\": {SCAN_KEY_RANGE},\n    \"cells\": [",
+        dur.as_millis(),
+    );
+    let mut first = true;
+    for (name, cells) in &scan_rows {
+        for c in cells {
+            let _ = write!(
+                json,
+                "{}\n      {{\"flavor\": \"{}\", \"updaters\": {}, \"span\": {}, \
+                 \"scans_per_s\": {}, \"entries_per_scan\": {}, \"restarts\": {}}}",
+                if first { "" } else { "," },
+                benchjson::esc(name),
+                c.updaters,
+                c.span,
+                benchjson::num(c.scans_per_s),
+                benchjson::num(c.entries_per_scan),
+                c.restarts,
             );
             first = false;
         }

@@ -24,12 +24,18 @@ use std::fmt;
 
 /// Object fields the gate treats as throughput metrics (higher is
 /// better). Everything else in a row is identity.
-pub const METRIC_KEYS: [&str; 4] = ["ops_per_s", "synchronize_per_s", "retires_per_s", "per_sec"];
+pub const METRIC_KEYS: [&str; 5] = [
+    "ops_per_s",
+    "synchronize_per_s",
+    "retires_per_s",
+    "scans_per_s",
+    "per_sec",
+];
 
 /// Object fields that identify a row (workload configuration). Scalar
 /// fields outside this list — measured counters like `piggybacks` — are
 /// ignored entirely, so their run-to-run noise cannot unmatch a row.
-pub const IDENTITY_KEYS: [&str; 12] = [
+pub const IDENTITY_KEYS: [&str; 14] = [
     "bench",
     "label",
     "flavor",
@@ -42,6 +48,8 @@ pub const IDENTITY_KEYS: [&str; 12] = [
     "threads",
     "deferred",
     "mode",
+    "scanners",
+    "span",
 ];
 
 /// Default tolerated drop before a row fails the gate, in percent.
@@ -335,6 +343,25 @@ mod tests {
         assert!(
             !row.contains("piggybacks"),
             "measured counters must not be identity (they change every run): {row}"
+        );
+
+        let scan = doc(
+            r#"{"bench": "rcu_micro", "scan": {"duration_ms": 200, "scanners": 2, "cells": [
+                    {"flavor": "rcu-scalable", "updaters": 4, "span": 256,
+                     "scans_per_s": 3.0e4, "entries_per_scan": 128.0, "restarts": 17}
+                ]}}"#,
+        );
+        let rows = collect_rows(&scan);
+        assert_eq!(rows.len(), 1);
+        let (row, metrics) = rows.iter().next().unwrap();
+        assert!(
+            row.contains("updaters=4") && row.contains("span=256"),
+            "row was {row}"
+        );
+        assert_eq!(metrics.get("scans_per_s"), Some(&3.0e4));
+        assert!(
+            !row.contains("restarts"),
+            "restart counts are measured noise, not identity: {row}"
         );
     }
 }

@@ -245,13 +245,124 @@ pub fn retire_storm<F: RcuFlavor>(
     }
 }
 
+/// One cell of the range-scan storm ([`scan_storm`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ScanCell {
+    /// Concurrent scanning threads.
+    pub scanners: usize,
+    /// Concurrent insert/remove churn threads.
+    pub updaters: usize,
+    /// Width of each scanned key range.
+    pub span: u64,
+    /// Aggregate validated range scans completed per second.
+    pub scans_per_s: f64,
+    /// Mean entries returned per scan (sanity: scans saw real data).
+    pub entries_per_scan: f64,
+    /// Traversals thrown away by edge validation across the cell — the
+    /// price of linearizable scans under churn.
+    pub restarts: u64,
+}
+
+/// Runs `scanners` threads doing validated `range_scan`s of width `span`
+/// over a Citrus tree of `key_range` keys for `dur`, with `updaters`
+/// background threads churning inserts/removes to force validation
+/// restarts. Leak mode, matching the paper's methodology, so the cell
+/// isolates traversal + validation cost from reclamation.
+pub fn scan_storm<F: RcuFlavor>(
+    scanners: usize,
+    updaters: usize,
+    key_range: u64,
+    span: u64,
+    dur: Duration,
+) -> ScanCell {
+    use citrus::{CitrusTree, ReclaimMode};
+    use citrus_api::testkit::SplitMix64;
+
+    let tree: CitrusTree<u64, u64, F> = CitrusTree::with_reclaim(ReclaimMode::Leak);
+    {
+        let mut s = tree.session();
+        let mut rng = SplitMix64::new(0x5CA4);
+        for _ in 0..key_range / 2 {
+            let k = rng.below(key_range);
+            s.insert(k, k);
+        }
+    }
+    let done = AtomicUsize::new(0);
+    let scans = AtomicU64::new(0);
+    let entries = AtomicU64::new(0);
+    let restarts = AtomicU64::new(0);
+    let barrier = Barrier::new(scanners + updaters + 1);
+    std::thread::scope(|s| {
+        for i in 0..updaters {
+            let (tree, done, barrier) = (&tree, &done, &barrier);
+            s.spawn(move || {
+                let mut sess = tree.session();
+                let mut rng = SplitMix64::new(0x0BD_0000 + i as u64);
+                barrier.wait();
+                while done.load(Ordering::Relaxed) < scanners {
+                    let k = rng.below(key_range);
+                    if rng.below(2) == 0 {
+                        sess.insert(k, k);
+                    } else {
+                        sess.remove(&k);
+                    }
+                }
+            });
+        }
+        for i in 0..scanners {
+            let (tree, done, scans, entries, restarts, barrier) =
+                (&tree, &done, &scans, &entries, &restarts, &barrier);
+            s.spawn(move || {
+                let mut sess = tree.session();
+                let mut rng = SplitMix64::new(0xA5C_0000 + i as u64);
+                let mut n = 0u64;
+                let mut hits = 0u64;
+                barrier.wait();
+                let start = std::time::Instant::now();
+                while start.elapsed() < dur {
+                    let lo = rng.below(key_range.saturating_sub(span).max(1));
+                    let found = sess.range_scan(&lo, &(lo + span));
+                    hits += found.len() as u64;
+                    std::hint::black_box(&found);
+                    n += 1;
+                }
+                scans.fetch_add(n, Ordering::Relaxed);
+                entries.fetch_add(hits, Ordering::Relaxed);
+                restarts.fetch_add(sess.stats().scan_restarts(), Ordering::Relaxed);
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+    });
+    let total = scans.load(Ordering::Relaxed);
+    ScanCell {
+        scanners,
+        updaters,
+        span,
+        scans_per_s: total as f64 / dur.as_secs_f64(),
+        entries_per_scan: if total == 0 {
+            0.0
+        } else {
+            entries.load(Ordering::Relaxed) as f64 / total as f64
+        },
+        restarts: restarts.load(Ordering::Relaxed),
+    }
+}
+
 /// Parses a `--shards` value (comma-separated counts) into the config,
 /// aborting with a usage message when empty or malformed.
 fn apply_shards(cfg: &mut BenchConfig, value: &str) {
     let shards: Vec<usize> = value
         .split(',')
-        .filter_map(|s| s.trim().parse().ok())
-        .filter(|&n| n > 0)
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("invalid --shards value `{value}` (expected e.g. `4` or `1,2,4,8`)");
+                std::process::exit(2);
+            }
+        })
         .collect();
     if shards.is_empty() {
         eprintln!("invalid --shards value `{value}` (expected e.g. `4` or `1,2,4,8`)");

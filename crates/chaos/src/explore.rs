@@ -52,13 +52,20 @@ impl Default for ExploreConfig {
 }
 
 /// Reads the exploration wall-clock budget from `CITRUS_EXPLORE_BUDGET_MS`
-/// (unset or unparsable means unbounded).
+/// (unset means unbounded; a malformed value is a hard error so CI never
+/// silently runs an unbounded sweep because of a typo).
 #[must_use]
 pub fn budget_from_env() -> Option<Duration> {
-    std::env::var("CITRUS_EXPLORE_BUDGET_MS")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map(Duration::from_millis)
+    match std::env::var("CITRUS_EXPLORE_BUDGET_MS") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(e) => panic!(
+                "invalid CITRUS_EXPLORE_BUDGET_MS={raw:?}: {e} (expected milliseconds as an unsigned integer)"
+            ),
+        },
+        Err(std::env::VarError::NotPresent) => None,
+        Err(e) => panic!("invalid CITRUS_EXPLORE_BUDGET_MS: {e}"),
+    }
 }
 
 /// The result of running one schedule: what the scheduler saw plus the

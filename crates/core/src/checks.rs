@@ -39,6 +39,20 @@ pub enum InvariantViolation {
     ReachableMarked,
     /// A reachable node's lock is held although the tree is quiescent.
     ReachableLocked,
+    /// Two forest shards both hold the same key (forest validation only):
+    /// an aggregate view would double-count it.
+    CrossShardDuplicate {
+        /// The two shards holding the duplicate.
+        shards: (usize, usize),
+    },
+    /// A forest shard holds a key the router assigns to another shard
+    /// (forest validation only).
+    MisroutedKey {
+        /// The shard the key was found in.
+        found_in: usize,
+        /// The shard the router assigns it to.
+        routed_to: usize,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -51,6 +65,18 @@ impl fmt::Display for InvariantViolation {
             Self::DuplicateKey => write!(f, "duplicate key reachable at quiescence"),
             Self::ReachableMarked => write!(f, "marked node still reachable"),
             Self::ReachableLocked => write!(f, "node lock held at quiescence"),
+            Self::CrossShardDuplicate { shards } => {
+                write!(f, "same key in forest shards {} and {}", shards.0, shards.1)
+            }
+            Self::MisroutedKey {
+                found_in,
+                routed_to,
+            } => {
+                write!(
+                    f,
+                    "key found in shard {found_in} but routes to shard {routed_to}"
+                )
+            }
         }
     }
 }

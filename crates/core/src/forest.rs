@@ -29,22 +29,45 @@
 //! # What stays per-shard vs. global
 //!
 //! Per-shard: BST invariants, per-node locks, grace periods, epochs,
-//! retired-node lifetimes, metric components. Global: nothing but the
-//! routing function — which is why aggregate views ([`len_quiescent`],
-//! [`to_vec_quiescent`]) are only *quiescent* operations, same as on a
-//! single tree.
+//! retired-node lifetimes, metric components. Global: the routing
+//! function, plus the *combined* read-side window a concurrent ordered
+//! read holds across every shard (next section). Aggregate views
+//! ([`len_quiescent`], [`to_vec_quiescent`]) remain **quiescent-only**
+//! operations, same as on a single tree;
+//! [`range_scan`](ForestSession::range_scan) /
+//! [`successor`](ForestSession::successor) /
+//! [`predecessor`](ForestSession::predecessor) are their concurrent,
+//! linearizable counterparts.
+//!
+//! # Concurrent ordered reads
+//!
+//! Routing is hashed, so *every* shard can hold keys in any key range: a
+//! range scan must fan out to all shards, an Ω(shard count) cost per scan
+//! no matter how few keys match — the price hash routing pays for skew
+//! resistance (DESIGN.md §6i). To stay linearizable the fan-out cannot
+//! scan shards one after another — shard A's snapshot would predate shard
+//! B's, and a writer completing two inserts between them could be
+//! observed half-done. Instead the session enters **every** shard's
+//! read-side context, collects a validated traversal per shard, and only
+//! then re-checks all recorded edges across all shards, restarting the
+//! whole fan-out if any moved. All reads precede all re-checks, so a
+//! successful pass observed every shard simultaneously at one instant;
+//! the per-shard results k-way merge into one ascending list.
 //!
 //! [`len_quiescent`]: CitrusForest::len_quiescent
 //! [`to_vec_quiescent`]: CitrusForest::to_vec_quiescent
 
 use crate::checks::{InvariantViolation, TreeStats};
-use crate::tree::{CitrusSession, CitrusTree, ReclaimMode};
-use citrus_api::{ConcurrentMap, MapSession};
+use crate::node::Dir;
+use crate::tree::{CitrusSession, CitrusTree, ReclaimMode, ScanAttempt};
+use citrus_api::{ConcurrentMap, MapSession, OrderedMapSession};
 use citrus_chaos as chaos;
 use citrus_obs::{Counter, Log2Histogram, MetricsRegistry};
 use citrus_rcu::{RcuFlavor, ScalableRcu};
+use core::cmp::Reverse;
 use core::fmt;
 use core::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
 
 /// Default shard count for [`CitrusForest::new`].
@@ -65,6 +88,10 @@ const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 pub struct ForestMetrics {
     /// One routed-operations counter per shard.
     routed: Box<[Counter]>,
+    /// Completed fan-out ordered reads (scans, successors, predecessors).
+    scans: Counter,
+    /// Fan-outs that failed cross-shard validation and restarted.
+    scan_restarts: Counter,
     /// Per-shard key counts observed by
     /// [`CitrusForest::record_occupancy`].
     shard_occupancy: Log2Histogram,
@@ -76,6 +103,8 @@ impl ForestMetrics {
     fn new(shards: usize) -> Self {
         Self {
             routed: (0..shards).map(|_| Counter::new(STRIPES)).collect(),
+            scans: Counter::new(STRIPES),
+            scan_restarts: Counter::new(STRIPES),
             shard_occupancy: Log2Histogram::new(),
             next_stripe: AtomicUsize::new(0),
         }
@@ -92,10 +121,35 @@ impl ForestMetrics {
         self.routed[shard].incr(stripe);
     }
 
+    /// Records one completed fan-out ordered read.
+    #[inline]
+    fn record_scan(&self, stripe: usize) {
+        self.scans.incr(stripe);
+    }
+
+    /// Records a fan-out that failed cross-shard validation and restarted.
+    #[inline]
+    fn record_scan_restart(&self, stripe: usize) {
+        self.scan_restarts.incr(stripe);
+    }
+
     /// Operations routed to `shard` so far (`0` with stats off).
     #[must_use]
     pub fn routed_to(&self, shard: usize) -> u64 {
         self.routed[shard].get()
+    }
+
+    /// Completed fan-out ordered reads (`0` with stats off).
+    #[must_use]
+    pub fn scans(&self) -> u64 {
+        self.scans.get()
+    }
+
+    /// Fan-out ordered reads that failed cross-shard validation and
+    /// restarted (`0` with stats off).
+    #[must_use]
+    pub fn scan_restarts(&self) -> u64 {
+        self.scan_restarts.get()
     }
 
     /// The per-shard occupancy histogram.
@@ -109,6 +163,8 @@ impl ForestMetrics {
         for (i, counter) in self.routed.iter().enumerate() {
             registry.register_counter(component, &format!("routed_shard{i}"), counter);
         }
+        registry.register_counter(component, "scans", &self.scans);
+        registry.register_counter(component, "scan_restarts", &self.scan_restarts);
         registry.register_histogram(component, "shard_occupancy", &self.shard_occupancy);
     }
 }
@@ -360,20 +416,53 @@ where
         all
     }
 
-    /// Validates every shard's structural invariants, returning aggregate
-    /// stats (total length, maximum shard height) or the first violation.
-    /// Quiescent-only.
+    /// Validates every shard's structural invariants **and** the forest's
+    /// cross-shard ones, returning aggregate stats (total length, maximum
+    /// shard height) or the first violation. Quiescent-only.
+    ///
+    /// Per-shard validation alone cannot back
+    /// [`to_vec_quiescent`](Self::to_vec_quiescent)'s promise of one
+    /// duplicate-free ascending view: a routing bug could land the same
+    /// key in two (individually valid) shards and silently double-count
+    /// it. So this also checks that no key appears in more than one shard
+    /// and that every key lives in the shard the router assigns it to.
     ///
     /// # Errors
     ///
-    /// Returns the first [`InvariantViolation`] found in any shard.
-    pub fn validate_structure(&mut self) -> Result<TreeStats, InvariantViolation> {
+    /// Returns the first [`InvariantViolation`] found in any shard, or a
+    /// [`CrossShardDuplicate`](InvariantViolation::CrossShardDuplicate) /
+    /// [`MisroutedKey`](InvariantViolation::MisroutedKey) across shards.
+    pub fn validate_structure(&mut self) -> Result<TreeStats, InvariantViolation>
+    where
+        K: Hash,
+    {
         let mut len = 0;
         let mut height = 0;
-        for shard in self.shards.iter_mut() {
+        let mut seen: Vec<(K, usize)> = Vec::new();
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
             let stats = shard.validate_structure()?;
             len += stats.len;
             height = height.max(stats.height);
+            for (key, _) in shard.to_vec_quiescent() {
+                seen.push((key, idx));
+            }
+        }
+        seen.sort_by(|a, b| a.0.cmp(&b.0));
+        for pair in seen.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(InvariantViolation::CrossShardDuplicate {
+                    shards: (pair[0].1, pair[1].1),
+                });
+            }
+        }
+        for (key, found_in) in &seen {
+            let routed_to = self.shard_for(key);
+            if routed_to != *found_in {
+                return Err(InvariantViolation::MisroutedKey {
+                    found_in: *found_in,
+                    routed_to,
+                });
+            }
         }
         Ok(TreeStats { len, height })
     }
@@ -486,11 +575,129 @@ where
         self.session_for(key).remove(key)
     }
 
+    /// Runs one fan-out ordered read to a validated completion: enter
+    /// every shard's read-side context, collect one traversal per shard,
+    /// then re-check every recorded edge across every shard — restarting
+    /// the **whole** fan-out when any moved. Scanning shards one after
+    /// another would not be linearizable (shard A's snapshot would
+    /// predate shard B's); holding all contexts and validating after all
+    /// reads extends the single-tree common-instant argument across the
+    /// forest (see the module docs).
+    fn fan_out<T>(
+        &mut self,
+        collect: impl Fn(&CitrusSession<'t, K, V, F>) -> ScanAttempt<K, V>,
+        extract: impl Fn(&[ScanAttempt<K, V>]) -> T,
+    ) -> T {
+        chaos::point!("forest/scan/fan-out");
+        // Fan-out reads touch every shard: materialize all sessions.
+        for (idx, slot) in self.sessions.iter_mut().enumerate() {
+            if slot.is_none() {
+                chaos::point!("forest/session/lazy-init");
+                *slot = Some(self.forest.shards[idx].session());
+            }
+        }
+        let sessions: Vec<&CitrusSession<'t, K, V, F>> = self
+            .sessions
+            .iter()
+            .map(|slot| slot.as_ref().expect("materialized above"))
+            .collect();
+        loop {
+            let guards: Vec<_> = sessions.iter().map(|s| s.ordered_read_enter()).collect();
+            let attempts: Vec<ScanAttempt<K, V>> = sessions.iter().map(|&s| collect(s)).collect();
+            chaos::point!("forest/scan/validate");
+            // SAFETY: `guards` still holds every shard's read-side
+            // section and pin the attempts were collected under.
+            let ok = chaos::mutant_enabled("citrus/scan/skip-validation")
+                || attempts.iter().all(|a| unsafe { a.validate() });
+            if ok {
+                let out = extract(&attempts);
+                drop(guards);
+                self.forest.metrics.record_scan(self.stripe);
+                return out;
+            }
+            drop(guards);
+            self.forest.metrics.record_scan_restart(self.stripe);
+            chaos::point!("forest/scan/restart");
+        }
+    }
+
+    /// Every `(key, value)` pair with `lo <= key <= hi` across all
+    /// shards, in ascending key order, observed atomically. Hash routing
+    /// scatters any key range over every shard, so this fans out to all
+    /// of them and k-way merges the per-shard results — an Ω(shard count)
+    /// cost per scan no matter how narrow the range (module docs).
+    pub fn range_scan(&mut self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        self.fan_out(
+            |session| session.collect_range(lo, hi),
+            |attempts| {
+                // SAFETY: `fan_out` extracts while every shard guard is
+                // still held.
+                merge_sorted(attempts.iter().map(|a| unsafe { a.entries() }).collect())
+            },
+        )
+    }
+
+    /// The entry with the least key strictly greater than `key` across
+    /// all shards, observed atomically: one candidate path per shard,
+    /// validated together, minimum candidate wins.
+    pub fn successor(&mut self, key: &K) -> Option<(K, V)> {
+        self.fan_out(
+            |session| session.collect_directed(key, Dir::Right),
+            |attempts| {
+                attempts
+                    .iter()
+                    // SAFETY: `fan_out` extracts while every shard guard
+                    // is still held.
+                    .filter_map(|a| unsafe { a.candidate() })
+                    .min_by(|a, b| a.0.cmp(&b.0))
+            },
+        )
+    }
+
+    /// The entry with the greatest key strictly less than `key` across
+    /// all shards, observed atomically (mirror of
+    /// [`successor`](Self::successor)).
+    pub fn predecessor(&mut self, key: &K) -> Option<(K, V)> {
+        self.fan_out(
+            |session| session.collect_directed(key, Dir::Left),
+            |attempts| {
+                attempts
+                    .iter()
+                    // SAFETY: `fan_out` extracts while every shard guard
+                    // is still held.
+                    .filter_map(|a| unsafe { a.candidate() })
+                    .max_by(|a, b| a.0.cmp(&b.0))
+            },
+        )
+    }
+
     /// How many shard sessions this session has actually created.
     #[must_use]
     pub fn live_shard_sessions(&self) -> usize {
         self.sessions.iter().filter(|s| s.is_some()).count()
     }
+}
+
+/// K-way merges per-shard, individually ascending entry runs into one
+/// ascending list. Shards partition the key space, so no key appears in
+/// two runs; the run index is only a total-order tiebreak for the heap.
+fn merge_sorted<K: Ord + Clone, V>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    let total = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut iters: Vec<_> = runs.into_iter().map(|r| r.into_iter().peekable()).collect();
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = iters
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(i, it)| it.peek().map(|(k, _)| Reverse((k.clone(), i))))
+        .collect();
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let (k, v) = iters[i].next().expect("heap entries mirror run heads");
+        out.push((k, v));
+        if let Some((next, _)) = iters[i].peek() {
+            heap.push(Reverse((next.clone(), i)));
+        }
+    }
+    out
 }
 
 impl<K, V, F: RcuFlavor> fmt::Debug for ForestSession<'_, K, V, F> {
@@ -515,12 +722,35 @@ where
         ForestSession::get(self, key)
     }
 
+    fn contains(&mut self, key: &K) -> bool {
+        ForestSession::contains(self, key)
+    }
+
     fn insert(&mut self, key: K, value: V) -> bool {
         ForestSession::insert(self, key, value)
     }
 
     fn remove(&mut self, key: &K) -> bool {
         ForestSession::remove(self, key)
+    }
+}
+
+impl<K, V, F> OrderedMapSession<K, V> for ForestSession<'_, K, V, F>
+where
+    K: Ord + Hash + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    F: RcuFlavor,
+{
+    fn range_scan(&mut self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        ForestSession::range_scan(self, lo, hi)
+    }
+
+    fn successor(&mut self, key: &K) -> Option<(K, V)> {
+        ForestSession::successor(self, key)
+    }
+
+    fn predecessor(&mut self, key: &K) -> Option<(K, V)> {
+        ForestSession::predecessor(self, key)
     }
 }
 
@@ -608,6 +838,62 @@ mod tests {
                     .any(|(kk, _)| *kk == k);
                 assert_eq!(present, i == idx, "key {k} in shard {i}");
             }
+        }
+    }
+
+    #[test]
+    fn ordered_reads_fan_out_and_merge() {
+        let f = Forest::with_shards(4);
+        let mut s = f.session();
+        for k in 0..100u64 {
+            assert!(s.insert(k, k * 10));
+        }
+        let mid = s.range_scan(&10, &19);
+        assert_eq!(mid.len(), 10);
+        assert!(mid.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+        assert_eq!(mid[0], (10, 100));
+        assert_eq!(mid[9], (19, 190));
+        assert_eq!(s.range_scan(&200, &300), vec![]);
+        assert_eq!(s.range_scan(&19, &10), vec![], "empty range");
+        assert_eq!(s.successor(&41), Some((42, 420)));
+        assert_eq!(s.successor(&99), None);
+        assert_eq!(s.predecessor(&1), Some((0, 0)));
+        assert_eq!(s.predecessor(&0), None);
+        assert_eq!(s.live_shard_sessions(), 4, "fan-out touches every shard");
+    }
+
+    #[test]
+    fn cross_shard_validation_catches_duplicates() {
+        // Plant a duplicate by writing into two shards' trees directly,
+        // bypassing routing — exactly what a routing bug would do.
+        let mut f = Forest::with_shards(4);
+        let key = 7u64;
+        let home = f.shard_for(&key);
+        let other = (home + 1) % f.shard_count();
+        f.shards[home].session().insert(key, 1);
+        f.shards[other].session().insert(key, 2);
+        match f.validate_structure() {
+            Err(InvariantViolation::CrossShardDuplicate { .. }) => {}
+            other => panic!("expected a cross-shard duplicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_shard_validation_catches_misroutes() {
+        let mut f = Forest::with_shards(4);
+        let key = 9u64;
+        let home = f.shard_for(&key);
+        let wrong = (home + 1) % f.shard_count();
+        f.shards[wrong].session().insert(key, 1);
+        match f.validate_structure() {
+            Err(InvariantViolation::MisroutedKey {
+                found_in,
+                routed_to,
+            }) => {
+                assert_eq!(found_in, wrong);
+                assert_eq!(routed_to, home);
+            }
+            other => panic!("expected a misrouted key, got {other:?}"),
         }
     }
 

@@ -45,6 +45,8 @@ pub struct TreeMetrics {
     lock_acquisitions: Counter,
     synchronize_calls: Counter,
     deferred_unlinks: Counter,
+    scan_ops: Counter,
+    scan_restarts: Counter,
     /// Round-robin stripe allocator for sessions (cold path: one
     /// `fetch_add` per [`session`](crate::CitrusTree::session)).
     next_stripe: AtomicUsize,
@@ -58,6 +60,8 @@ impl TreeMetrics {
             lock_acquisitions: Counter::new(STRIPES),
             synchronize_calls: Counter::new(STRIPES),
             deferred_unlinks: Counter::new(STRIPES),
+            scan_ops: Counter::new(STRIPES),
+            scan_restarts: Counter::new(STRIPES),
             next_stripe: AtomicUsize::new(0),
         }
     }
@@ -98,6 +102,20 @@ impl TreeMetrics {
         self.deferred_unlinks.incr(stripe);
     }
 
+    /// Records one completed ordered read (`range_scan` / `successor` /
+    /// `predecessor`).
+    #[inline]
+    pub(crate) fn record_scan_op(&self, stripe: usize) {
+        self.scan_ops.incr(stripe);
+    }
+
+    /// Records an ordered read whose traversal failed validation and
+    /// restarted (DESIGN.md §6i).
+    #[inline]
+    pub(crate) fn record_scan_restart(&self, stripe: usize) {
+        self.scan_restarts.incr(stripe);
+    }
+
     /// Total `insert` validation restarts across sessions
     /// (`0` with stats off).
     #[must_use]
@@ -133,6 +151,20 @@ impl TreeMetrics {
         self.deferred_unlinks.get()
     }
 
+    /// Total completed ordered reads (`range_scan` / `successor` /
+    /// `predecessor`) across sessions (`0` with stats off).
+    #[must_use]
+    pub fn scan_ops(&self) -> u64 {
+        self.scan_ops.get()
+    }
+
+    /// Total ordered-read traversals that failed validation and restarted
+    /// (`0` with stats off).
+    #[must_use]
+    pub fn scan_restarts(&self) -> u64 {
+        self.scan_restarts.get()
+    }
+
     /// Registers this tree's instruments under `component`.
     pub fn register_into(&self, registry: &MetricsRegistry, component: &str) {
         registry.register_counter(component, "insert_retries", &self.insert_retries);
@@ -140,5 +172,7 @@ impl TreeMetrics {
         registry.register_counter(component, "lock_acquisitions", &self.lock_acquisitions);
         registry.register_counter(component, "synchronize_calls", &self.synchronize_calls);
         registry.register_counter(component, "deferred_unlinks", &self.deferred_unlinks);
+        registry.register_counter(component, "scan_ops", &self.scan_ops);
+        registry.register_counter(component, "scan_restarts", &self.scan_restarts);
     }
 }

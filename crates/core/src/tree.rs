@@ -13,6 +13,11 @@
 //!   (lines 42–84 → [`CitrusSession::remove`]).
 //! * `validate` / `incrementTag` — lines 33–41 → [`validate`] /
 //!   [`Node::increment_tag`].
+//! * `range_scan` / `successor` / `predecessor` — ordered reads layered on
+//!   the same read-side protocol (DESIGN.md §6i): collect an in-order
+//!   traversal recording every crossed edge, re-check all of them after
+//!   the walk, and restart from scratch when a concurrent update moved
+//!   one.
 //!
 //! In **deferred-free mode** (`CITRUS_DEFERRED_FREE=1` or
 //! [`CitrusTree::with_options`]; DESIGN.md §6g) the two-child delete does
@@ -23,11 +28,13 @@
 
 use crate::metrics::TreeMetrics;
 use crate::node::{Dir, KeyBound, Node};
-use citrus_api::{ConcurrentMap, MapSession};
+use citrus_api::{ConcurrentMap, MapSession, OrderedMapSession};
 use citrus_chaos as chaos;
 use citrus_obs::MetricsRegistry;
-use citrus_rcu::{RcuFlavor, RcuHandle, ScalableRcu};
-use citrus_reclaim::{deferred_free_from_env, CallRcu, CallRcuConfig, EbrDomain, EbrHandle};
+use citrus_rcu::{RcuFlavor, RcuHandle, RcuReadGuard, ScalableRcu};
+use citrus_reclaim::{
+    deferred_free_from_env, CallRcu, CallRcuConfig, EbrDomain, EbrGuard, EbrHandle,
+};
 use citrus_sync::SpinMutex;
 use core::cell::{Cell, RefCell};
 use core::cmp::Ordering as CmpOrdering;
@@ -229,11 +236,14 @@ impl<K: Send + Sync, V: Send + Sync, F: RcuFlavor> CitrusTree<K, V, F> {
     /// knobs for experiments; the defaults are tuned on the committed
     /// benchmark host.
     fn deferred_config() -> CallRcuConfig {
-        let env_u64 = |name: &str, default: u64| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.trim().parse().ok())
-                .unwrap_or(default)
+        // Malformed values abort loudly instead of silently falling back:
+        // a typo'd knob would otherwise make the run *look* configured.
+        let env_u64 = |name: &str, default: u64| match std::env::var(name) {
+            Ok(raw) => raw.trim().parse().unwrap_or_else(|e| {
+                panic!("invalid {name}={raw:?}: {e} (expected an unsigned integer)")
+            }),
+            Err(std::env::VarError::NotPresent) => default,
+            Err(e) => panic!("invalid {name}: {e}"),
         };
         CallRcuConfig {
             batch_threshold: env_u64("CITRUS_DEFERRED_BATCH", 16) as usize,
@@ -425,6 +435,7 @@ pub struct SessionStats {
     remove_retries: Cell<u64>,
     synchronize_calls: Cell<u64>,
     deferred_unlinks: Cell<u64>,
+    scan_restarts: Cell<u64>,
 }
 
 impl SessionStats {
@@ -449,6 +460,12 @@ impl SessionStats {
     /// instead of synchronizing inline.
     pub fn deferred_unlinks(&self) -> u64 {
         self.deferred_unlinks.get()
+    }
+
+    /// Ordered reads (`range_scan` / `successor` / `predecessor`) whose
+    /// traversal failed validation and restarted.
+    pub fn scan_restarts(&self) -> u64 {
+        self.scan_restarts.get()
     }
 }
 
@@ -602,6 +619,153 @@ unsafe fn run_unlink<K, V>(data: *mut u8) {
     }
 }
 
+/// One traversed edge, recorded during an ordered read for post-traversal
+/// validation (DESIGN.md §6i).
+enum ScanEdge<K, V> {
+    /// `parent.child(dir)` observed non-null.
+    Live {
+        parent: *mut Node<K, V>,
+        dir: Dir,
+        child: *mut Node<K, V>,
+    },
+    /// `parent.child(dir)` observed null, with the edge's tag at read
+    /// time — null edges are the real ABA risk (null → leaf → null under
+    /// a racing insert + delete), and the paper's tag bumps every time
+    /// the edge is re-nulled.
+    Null {
+        parent: *mut Node<K, V>,
+        dir: Dir,
+        tag: u64,
+    },
+}
+
+/// A collected, not-yet-validated ordered-read traversal: every edge the
+/// walk crossed plus the nodes whose keys answered the query (in visit
+/// order).
+///
+/// Collection and validation are deliberately split: all edge *reads*
+/// happen before all edge *re-checks*, so when [`validate`](Self::validate)
+/// succeeds every per-edge constancy interval contains the instant the
+/// collection ended — the entire traversed region existed simultaneously
+/// at that instant, which is the read's linearization point. `pub(crate)`
+/// so [`ForestSession`](crate::ForestSession) can collect one attempt per
+/// shard and validate the whole fan-out together.
+pub(crate) struct ScanAttempt<K, V> {
+    edges: Vec<ScanEdge<K, V>>,
+    hits: Vec<*mut Node<K, V>>,
+}
+
+impl<K, V> ScanAttempt<K, V> {
+    fn new() -> Self {
+        Self {
+            edges: Vec::new(),
+            hits: Vec::new(),
+        }
+    }
+
+    /// Loads and records `parent`'s `dir` edge, returning the child.
+    ///
+    /// # Safety
+    ///
+    /// `parent` must be a valid node.
+    unsafe fn record_edge(&mut self, parent: *mut Node<K, V>, dir: Dir) -> *mut Node<K, V> {
+        // SAFETY: valid per contract.
+        let child = unsafe { (*parent).child(dir) };
+        if child.is_null() {
+            // SAFETY: valid per contract.
+            let tag = unsafe { (*parent).tag(dir) };
+            self.edges.push(ScanEdge::Null { parent, dir, tag });
+        } else {
+            self.edges.push(ScanEdge::Live { parent, dir, child });
+        }
+        child
+    }
+
+    /// Re-checks every recorded edge; `true` means none moved since it was
+    /// read.
+    ///
+    /// For a non-null edge, pointer equality plus an unmarked child
+    /// suffices: a bypassed or spliced-out node is marked before it is
+    /// unlinked and is never re-linked, and its address cannot be reused
+    /// while the collector's pin is held — so an unchanged, unmarked child
+    /// pointer means the edge held for the whole interval. Null edges use
+    /// the tag (see [`ScanEdge::Null`]).
+    ///
+    /// # Safety
+    ///
+    /// Every recorded node must still be allocated: the read-side section
+    /// and pin the attempt was collected under must still be held.
+    pub(crate) unsafe fn validate(&self) -> bool {
+        self.edges.iter().all(|edge| match *edge {
+            ScanEdge::Live { parent, dir, child } => {
+                // SAFETY: allocated per contract.
+                unsafe { (*parent).child(dir) == child && !(*child).is_marked() }
+            }
+            ScanEdge::Null { parent, dir, tag } => {
+                // SAFETY: allocated per contract.
+                unsafe { (*parent).child(dir).is_null() && (*parent).tag(dir) == tag }
+            }
+        })
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> ScanAttempt<K, V> {
+    /// Clones the matched entries in key order, collapsing the adjacent
+    /// duplicate the two-child delete's replacement window can expose:
+    /// between splice and unlink, the replacement copy and the old
+    /// successor both carry the successor's key *and value*, and sit next
+    /// to each other in visit order.
+    ///
+    /// # Safety
+    ///
+    /// As for [`validate`](Self::validate).
+    pub(crate) unsafe fn entries(&self) -> Vec<(K, V)> {
+        let mut out: Vec<(K, V)> = Vec::with_capacity(self.hits.len());
+        for &hit in &self.hits {
+            // SAFETY: allocated per contract; hits are real (non-sentinel)
+            // nodes, whose key and value never change after construction.
+            let node = unsafe { &*hit };
+            let key = node.key.as_key().expect("hits carry real keys");
+            if out.last().is_some_and(|(k, _)| k == key) {
+                continue;
+            }
+            out.push((
+                key.clone(),
+                node.value.clone().expect("real nodes carry values"),
+            ));
+        }
+        out
+    }
+
+    /// Clones the single candidate entry (successor / predecessor probes
+    /// record at most one hit).
+    ///
+    /// # Safety
+    ///
+    /// As for [`validate`](Self::validate).
+    pub(crate) unsafe fn candidate(&self) -> Option<(K, V)> {
+        self.hits.last().map(|&hit| {
+            // SAFETY: as in `entries`.
+            let node = unsafe { &*hit };
+            (
+                node.key
+                    .as_key()
+                    .expect("candidates carry real keys")
+                    .clone(),
+                node.value.clone().expect("real nodes carry values"),
+            )
+        })
+    }
+}
+
+/// Read-side guards for one ordered-read attempt: the session's EBR pin
+/// (`Epoch` mode) plus its RCU read lock, bundled so the forest can hold
+/// one per shard for the whole fan-out's collect-then-validate window.
+pub(crate) struct OrderedReadGuard<'s, 't, F: RcuFlavor> {
+    _pin: Option<EbrGuard<'s, 't>>,
+    _rcu: RcuReadGuard<'s, F::Handle<'t>>,
+}
+
 /// The paper's `validate` (lines 33–38): all checks are on locked nodes'
 /// local fields.
 ///
@@ -683,9 +847,219 @@ where
         unsafe { (*curr).value.clone() }
     }
 
-    /// Returns `true` iff `key` is present. Wait-free.
+    /// Returns `true` iff `key` is present. Wait-free, and — unlike
+    /// [`get`](Self::get) — never touches the value: a presence check must
+    /// not pay for a `V::clone` it immediately drops.
     pub fn contains(&mut self, key: &K) -> bool {
-        self.get(key).is_some()
+        let _pin = self.ebr.as_ref().map(|h| h.pin());
+        let _guard = self.rcu.read_lock();
+        let (_prev, _tag, curr, _dir) = self.search(key);
+        // Same window as `get`: the lincheck chaos sweeps drive both
+        // operations through this point.
+        chaos::point!("citrus/get/after-search");
+        !curr.is_null()
+    }
+
+    /// Enters the read-side context ordered reads traverse under — the
+    /// EBR pin (`Epoch` mode) and the RCU read lock — bundled so the
+    /// forest can hold one per shard across a fan-out scan.
+    pub(crate) fn ordered_read_enter(&self) -> OrderedReadGuard<'_, 't, F> {
+        OrderedReadGuard {
+            _pin: self.ebr.as_ref().map(|h| h.pin()),
+            _rcu: self.rcu.read_lock(),
+        }
+    }
+
+    /// Walks the tree in order over `[lo, hi]`, recording every traversed
+    /// edge and every in-range node. Collection only — the caller
+    /// validates afterwards, possibly together with other shards'
+    /// attempts.
+    ///
+    /// Must be called inside this session's read-side context
+    /// ([`ordered_read_enter`](Self::ordered_read_enter)).
+    pub(crate) fn collect_range(&self, lo: &K, hi: &K) -> ScanAttempt<K, V> {
+        debug_assert!(self.rcu.in_read_section());
+        let mut attempt = ScanAttempt::new();
+        if lo > hi {
+            return attempt;
+        }
+        /// In-order walk frames: descend left first, then emit and go
+        /// right.
+        enum Frame<K, V> {
+            Enter(*mut Node<K, V>),
+            Visit(*mut Node<K, V>),
+        }
+        let mut stack = vec![Frame::Enter(self.tree.root)];
+        while let Some(frame) = stack.pop() {
+            // SAFETY: every pushed pointer was read from a live edge
+            // inside the read-side section, so it stays allocated (Leak
+            // never frees; Epoch is covered by the caller's pin).
+            unsafe {
+                match frame {
+                    Frame::Enter(n) => {
+                        chaos::point!("citrus/scan/step");
+                        stack.push(Frame::Visit(n));
+                        // Keys below `n` can only matter when n.key > lo
+                        // (sentinels prune themselves: −∞ is never
+                        // greater, so the root's left edge is skipped).
+                        if (*n).key.cmp_key(lo) == CmpOrdering::Greater {
+                            let left = attempt.record_edge(n, Dir::Left);
+                            if !left.is_null() {
+                                stack.push(Frame::Enter(left));
+                            }
+                        }
+                    }
+                    Frame::Visit(n) => {
+                        let key = &(*n).key;
+                        // Sentinels compare outside every [lo, hi].
+                        if key.cmp_key(lo) != CmpOrdering::Less
+                            && key.cmp_key(hi) != CmpOrdering::Greater
+                        {
+                            attempt.hits.push(n);
+                        }
+                        // Keys above `n` can only matter when n.key < hi.
+                        if key.cmp_key(hi) == CmpOrdering::Less {
+                            let right = attempt.record_edge(n, Dir::Right);
+                            if !right.is_null() {
+                                stack.push(Frame::Enter(right));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        attempt
+    }
+
+    /// Walks the successor (`side == Dir::Right`) or predecessor
+    /// (`side == Dir::Left`) search path for `key`, recording every
+    /// traversed edge; the attempt's hit list ends holding the candidate —
+    /// the nearest real key strictly beyond the probe — if one exists.
+    ///
+    /// Must be called inside this session's read-side context, like
+    /// [`collect_range`](Self::collect_range).
+    pub(crate) fn collect_directed(&self, key: &K, side: Dir) -> ScanAttempt<K, V> {
+        debug_assert!(self.rcu.in_read_section());
+        let mut attempt = ScanAttempt::new();
+        let mut n = self.tree.root;
+        // SAFETY: as in `collect_range` — every pointer comes from a live
+        // edge read inside the read-side section.
+        unsafe {
+            loop {
+                chaos::point!("citrus/scan/step");
+                let cmp = (*n).key.cmp_key(key);
+                // Successor: any node with key > probe is a candidate, and
+                // the search continues left toward smaller ones; otherwise
+                // right. Predecessor is the mirror image. Sentinels
+                // steer the walk but never become candidates.
+                let toward_probe = if side == Dir::Right {
+                    cmp == CmpOrdering::Greater
+                } else {
+                    cmp == CmpOrdering::Less
+                };
+                let dir = if toward_probe {
+                    if (*n).key.as_key().is_some() {
+                        attempt.hits.clear();
+                        attempt.hits.push(n);
+                    }
+                    if side == Dir::Right {
+                        Dir::Left
+                    } else {
+                        Dir::Right
+                    }
+                } else {
+                    side
+                };
+                let child = attempt.record_edge(n, dir);
+                if child.is_null() {
+                    break;
+                }
+                n = child;
+            }
+        }
+        attempt
+    }
+
+    /// Runs one ordered read to a validated completion: collect inside
+    /// the read-side context, validate every crossed edge, extract —
+    /// restarting from scratch whenever a concurrent update moved one.
+    /// Restarts are bounded by interference: each one implies a
+    /// concurrent update completed inside the attempt's window (DESIGN.md
+    /// §6i), the same progress argument as the updaters' retry loops.
+    fn ordered_read<T>(
+        &self,
+        collect: impl Fn(&Self) -> ScanAttempt<K, V>,
+        extract: impl Fn(&ScanAttempt<K, V>) -> T,
+    ) -> T {
+        loop {
+            let out = {
+                let _guard = self.ordered_read_enter();
+                let attempt = collect(self);
+                chaos::point!("citrus/scan/validate");
+                // The mutant is a test-only planted bug (chaos builds
+                // only): skipping validation can tear the read across a
+                // concurrent update — the exploration suite must find the
+                // resulting non-linearizable result.
+                // SAFETY: `_guard` still holds the read-side section and
+                // pin `collect` ran under.
+                if chaos::mutant_enabled("citrus/scan/skip-validation")
+                    || unsafe { attempt.validate() }
+                {
+                    Some(extract(&attempt))
+                } else {
+                    None
+                }
+            };
+            match out {
+                Some(value) => {
+                    self.tree.metrics.record_scan_op(self.stripe);
+                    return value;
+                }
+                None => {
+                    self.stats
+                        .scan_restarts
+                        .set(self.stats.scan_restarts.get() + 1);
+                    self.tree.metrics.record_scan_restart(self.stripe);
+                    chaos::point!("citrus/scan/restart");
+                }
+            }
+        }
+    }
+
+    /// Every `(key, value)` pair with `lo <= key <= hi`, in ascending key
+    /// order, observed atomically: after the in-order walk, every crossed
+    /// edge is re-checked — all reads precede all re-checks, so success
+    /// means the whole traversed region existed at one instant, the
+    /// scan's linearization point — and the walk restarts when a
+    /// concurrent update interfered (DESIGN.md §6i).
+    pub fn range_scan(&mut self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        self.ordered_read(
+            |s| s.collect_range(lo, hi),
+            // SAFETY: `ordered_read` extracts under its read-side guard.
+            |attempt| unsafe { attempt.entries() },
+        )
+    }
+
+    /// The entry with the least key strictly greater than `key`, observed
+    /// atomically (validated traversal, as in
+    /// [`range_scan`](Self::range_scan)).
+    pub fn successor(&mut self, key: &K) -> Option<(K, V)> {
+        self.ordered_read(
+            |s| s.collect_directed(key, Dir::Right),
+            // SAFETY: `ordered_read` extracts under its read-side guard.
+            |attempt| unsafe { attempt.candidate() },
+        )
+    }
+
+    /// The entry with the greatest key strictly less than `key`, observed
+    /// atomically (validated traversal, as in
+    /// [`range_scan`](Self::range_scan)).
+    pub fn predecessor(&mut self, key: &K) -> Option<(K, V)> {
+        self.ordered_read(
+            |s| s.collect_directed(key, Dir::Left),
+            // SAFETY: `ordered_read` extracts under its read-side guard.
+            |attempt| unsafe { attempt.candidate() },
+        )
     }
 
     /// The paper's `insert` (lines 21–32). Returns `true` iff `key` was
@@ -990,11 +1364,36 @@ where
         CitrusSession::get(self, key)
     }
 
+    fn contains(&mut self, key: &K) -> bool {
+        // Not the default `get(..).is_some()`: presence checks must not
+        // clone the value.
+        CitrusSession::contains(self, key)
+    }
+
     fn insert(&mut self, key: K, value: V) -> bool {
         CitrusSession::insert(self, key, value)
     }
 
     fn remove(&mut self, key: &K) -> bool {
         CitrusSession::remove(self, key)
+    }
+}
+
+impl<K, V, F> OrderedMapSession<K, V> for CitrusSession<'_, K, V, F>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    F: RcuFlavor,
+{
+    fn range_scan(&mut self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        CitrusSession::range_scan(self, lo, hi)
+    }
+
+    fn successor(&mut self, key: &K) -> Option<(K, V)> {
+        CitrusSession::successor(self, key)
+    }
+
+    fn predecessor(&mut self, key: &K) -> Option<(K, V)> {
+        CitrusSession::predecessor(self, key)
     }
 }

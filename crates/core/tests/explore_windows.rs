@@ -290,6 +290,121 @@ fn pinned_deferred_flush_schedule_regression() {
     );
 }
 
+// ---- Ordered reads: validated traversal windows (DESIGN.md §6i) -------
+
+/// remove(20) takes the two-child path while a full-range scan runs: the
+/// weak-BST window where the spliced successor copy and the not-yet
+/// unlinked original are both reachable with key 25. The scan must
+/// either restart (validation catches the splice) or dedup the adjacent
+/// duplicate — never return 20 and 25's states torn across the window.
+fn scan_window_scenario(name: &'static str) -> ScheduleScenario {
+    ScheduleScenario::new(name)
+        .prefill(&[(20, 200), (10, 100), (30, 300), (25, 250)])
+        .thread(&[ScenarioOp::Remove(20)])
+        .thread(&[ScenarioOp::Scan(0, 100)])
+}
+
+#[test]
+fn scan_vs_inline_two_child_delete_sweep_is_clean() {
+    let _wd = stress_watchdog("scan_vs_inline_two_child_delete_sweep_is_clean");
+    let scenario = scan_window_scenario("scan-vs-inline-two-child-delete");
+    let report = explore_schedules_with(make_inline, &scenario, bounded(2), validate);
+    report.assert_clean(scenario.name);
+    if !report.completed {
+        return;
+    }
+    assert!(report.schedules > 1, "sweep must enumerate real schedules");
+    for point in [
+        "citrus/scan/step",
+        "citrus/scan/validate",
+        "citrus/remove/before-synchronize",
+    ] {
+        assert!(
+            report.points_hit.contains(point),
+            "sweep never reached {point}; hit: {:?}",
+            report.points_hit
+        );
+    }
+}
+
+#[test]
+fn scan_vs_deferred_flush_sweep_is_clean() {
+    let _wd = stress_watchdog("scan_vs_deferred_flush_sweep_is_clean");
+    let scenario = scan_window_scenario("scan-vs-deferred-flush");
+    let report = explore_schedules_with(make_deferred, &scenario, bounded(2), validate);
+    report.assert_clean(scenario.name);
+    if !report.completed {
+        return;
+    }
+    for point in ["citrus/scan/step", "citrus/remove/defer-unlink"] {
+        assert!(
+            report.points_hit.contains(point),
+            "sweep never reached {point}; hit: {:?}",
+            report.points_hit
+        );
+    }
+}
+
+/// Torn-scan scenario with no grace periods anywhere (leaf remove plus a
+/// fresh insert): an unvalidated traversal preempted between visiting 10
+/// and descending into 30's subtree collects BOTH the removed 10 and the
+/// later-inserted 25 — a set no instant ever held, since the writer
+/// removes before inserting.
+fn torn_scan_scenario(name: &'static str) -> ScheduleScenario {
+    ScheduleScenario::new(name)
+        .prefill(&[(20, 200), (10, 100), (30, 300)])
+        .thread(&[ScenarioOp::Remove(10), ScenarioOp::Insert(25, 250)])
+        .thread(&[ScenarioOp::Scan(0, 100)])
+}
+
+/// The scan harness has teeth: with per-edge validation skipped, the
+/// explorer must find the torn traversal at a low preemption bound, the
+/// reported schedule must replay to the same failure, and the identical
+/// schedule must pass once validation is back on.
+#[test]
+fn scan_skip_validation_mutant_is_caught() {
+    let _wd = stress_watchdog("scan_skip_validation_mutant_is_caught");
+    let scenario = torn_scan_scenario("torn-scan-mutant");
+    let guard = enable_mutant("citrus/scan/skip-validation");
+    let report = explore_schedules_with(make_inline, &scenario, bounded(2), validate);
+    let failure = report
+        .failure
+        .expect("skipping scan validation must be caught");
+    eprintln!("[mutant] torn-scan minimal schedule: {failure}");
+    assert!(
+        failure.preemptions <= 2,
+        "iterative deepening must find a low-bound witness, got {}",
+        failure.preemptions
+    );
+    assert!(
+        failure.reason.contains("non-linearizable"),
+        "the witness must be a linearizability violation, got: {}",
+        failure.reason
+    );
+    let rerun = replay_schedule_with(make_inline, &scenario, &failure.schedule, validate);
+    assert!(
+        rerun.verdict.is_err() || !rerun.outcome.clean(),
+        "replaying the failing schedule must reproduce the failure"
+    );
+    drop(guard);
+    let fixed = replay_schedule_with(make_inline, &scenario, &failure.schedule, validate);
+    assert!(
+        fixed.outcome.clean() && fixed.verdict.is_ok(),
+        "the minimal schedule must pass once validation is restored: {:?}",
+        fixed.verdict
+    );
+}
+
+/// The same torn-scan scenario with validation on: every interleaving up
+/// to the bound restarts instead of returning a torn result.
+#[test]
+fn torn_scan_sweep_is_clean_with_validation() {
+    let _wd = stress_watchdog("torn_scan_sweep_is_clean_with_validation");
+    let scenario = torn_scan_scenario("torn-scan-validated");
+    let report = explore_schedules_with(make_inline, &scenario, bounded(2), validate);
+    report.assert_clean(scenario.name);
+}
+
 /// Finds one key per shard of a 2-shard forest by probing the shard trees
 /// directly (routing is hash-based, so the constants are not obvious).
 fn keys_in_distinct_shards() -> (u64, u64) {

@@ -22,6 +22,10 @@ use std::time::Duration;
 ///
 /// Metric collection also requires the `stats` feature (on by default in
 /// `citrus-bench`); without it the metrics sections are empty.
+///
+/// Malformed values are hard errors: `CITRUS_DURATION_MS=20O` aborts the
+/// run instead of silently benchmarking the default and publishing
+/// numbers for a configuration nobody asked for.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {
     /// Per-point run duration.
@@ -42,11 +46,54 @@ pub struct BenchConfig {
     pub collect_metrics: bool,
 }
 
+/// Parses one numeric knob value, panicking with the variable name and
+/// offending text on anything malformed. A typo like
+/// `CITRUS_DURATION_MS=20O` must abort the run, not silently bench the
+/// default and report numbers nobody asked for.
+fn parse_u64_knob(name: &str, raw: &str) -> u64 {
+    match raw.trim().parse() {
+        Ok(v) => v,
+        Err(e) => panic!("invalid {name}={raw:?}: {e} (expected an unsigned integer)"),
+    }
+}
+
+/// Parses a comma-separated list of positive counts (thread or shard
+/// sweeps). Empty segments from stray commas are ignored; malformed or
+/// zero entries and an empty overall list are hard errors.
+fn parse_count_list(name: &str, raw: &str) -> Vec<usize> {
+    let counts: Vec<usize> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.parse::<usize>() {
+            Ok(0) => panic!("invalid {name}={raw:?}: counts must be positive"),
+            Ok(n) => n,
+            Err(e) => {
+                panic!("invalid {name}={raw:?}: {e} (expected comma-separated positive integers)")
+            }
+        })
+        .collect();
+    if counts.is_empty() {
+        panic!("invalid {name}={raw:?}: expected at least one positive integer");
+    }
+    counts
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Ok(raw) => parse_u64_knob(name, &raw),
+        Err(std::env::VarError::NotPresent) => default,
+        Err(e) => panic!("invalid {name}: {e}"),
+    }
+}
+
+fn env_counts(name: &str, default: &str) -> Vec<usize> {
+    let raw = match std::env::var(name) {
+        Ok(raw) => raw,
+        Err(std::env::VarError::NotPresent) => default.to_string(),
+        Err(e) => panic!("invalid {name}: {e}"),
+    };
+    parse_count_list(name, &raw)
 }
 
 impl BenchConfig {
@@ -58,35 +105,13 @@ impl BenchConfig {
         } else {
             (200, 1, "1,2,4,8", 20_000, 200_000)
         };
-        let threads_raw = std::env::var("CITRUS_THREADS").unwrap_or_else(|_| d_threads.to_string());
-        let threads: Vec<usize> = threads_raw
-            .split(',')
-            .filter_map(|s| s.trim().parse().ok())
-            .filter(|&t| t > 0)
-            .collect();
         Self {
             duration: Duration::from_millis(env_u64("CITRUS_DURATION_MS", d_duration)),
             reps: env_u64("CITRUS_REPS", d_reps) as usize,
-            threads: if threads.is_empty() {
-                vec![1, 2, 4, 8]
-            } else {
-                threads
-            },
+            threads: env_counts("CITRUS_THREADS", d_threads),
             range_small: env_u64("CITRUS_RANGE_SMALL", d_small),
             range_large: env_u64("CITRUS_RANGE_LARGE", d_large),
-            shards: {
-                let raw = std::env::var("CITRUS_SHARDS").unwrap_or_else(|_| "1,2,4,8".to_string());
-                let shards: Vec<usize> = raw
-                    .split(',')
-                    .filter_map(|s| s.trim().parse().ok())
-                    .filter(|&n| n > 0)
-                    .collect();
-                if shards.is_empty() {
-                    vec![1, 2, 4, 8]
-                } else {
-                    shards
-                }
-            },
+            shards: env_counts("CITRUS_SHARDS", "1,2,4,8"),
             collect_metrics: std::env::var("CITRUS_METRICS")
                 .is_ok_and(|v| v != "0" && !v.is_empty()),
         }
@@ -125,5 +150,44 @@ mod tests {
         let c = BenchConfig::smoke();
         assert!(c.duration < Duration::from_millis(100));
         assert_eq!(c.reps, 1);
+    }
+
+    #[test]
+    fn numeric_knobs_parse_with_whitespace() {
+        assert_eq!(parse_u64_knob("CITRUS_REPS", " 5 "), 5);
+        assert_eq!(parse_u64_knob("CITRUS_DURATION_MS", "200"), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CITRUS_DURATION_MS=\"20O\"")]
+    fn malformed_numeric_knob_is_a_hard_error() {
+        parse_u64_knob("CITRUS_DURATION_MS", "20O");
+    }
+
+    #[test]
+    fn count_lists_tolerate_spacing_and_stray_commas() {
+        assert_eq!(
+            parse_count_list("CITRUS_THREADS", "1, 2,4 ,8,"),
+            [1, 2, 4, 8]
+        );
+        assert_eq!(parse_count_list("CITRUS_SHARDS", "16"), [16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CITRUS_THREADS=\"1,2,four\"")]
+    fn malformed_count_entry_is_a_hard_error() {
+        parse_count_list("CITRUS_THREADS", "1,2,four");
+    }
+
+    #[test]
+    #[should_panic(expected = "counts must be positive")]
+    fn zero_count_is_a_hard_error() {
+        parse_count_list("CITRUS_SHARDS", "4,0");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected at least one positive integer")]
+    fn empty_count_list_is_a_hard_error() {
+        parse_count_list("CITRUS_THREADS", " , ,");
     }
 }

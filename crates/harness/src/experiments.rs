@@ -175,6 +175,136 @@ pub fn forest_sweep(cfg: &BenchConfig) -> Vec<ForestCell> {
     cells
 }
 
+/// One cell of the [`forest_scan_sweep`] grid: full-forest validated
+/// range scans racing per-shard update churn at one shard count.
+#[derive(Debug, Clone)]
+pub struct ForestScanCell {
+    /// RCU flavor name (`RcuFlavor::NAME`).
+    pub flavor: &'static str,
+    /// Shard count (power of two).
+    pub shards: usize,
+    /// Scanning threads.
+    pub scanners: usize,
+    /// Churning threads.
+    pub updaters: usize,
+    /// Width of each scanned key range.
+    pub span: u64,
+    /// Aggregate whole-forest scans per second.
+    pub scans_per_s: f64,
+    /// Whole-forest fan-out restarts (any shard's validation failing
+    /// restarts the entire fan-out) — `stats` feature only, else 0.
+    pub restarts: u64,
+}
+
+/// The forest scan sweep: whole-forest `range_scan` throughput over
+/// `shards ∈ cfg.shards × flavor {scalable, global-lock}` with half the
+/// configured maximum threads scanning and half churning.
+///
+/// This is the cost model for hash-routed ordered reads (DESIGN.md §6i):
+/// point operations shard perfectly, but a range scan must fan out to
+/// *every* shard, enter all their read-side sections, validate all the
+/// per-shard traversals together, and k-way-merge the results — so
+/// scans/s is expected to *fall* as the shard count grows, and any
+/// single shard's interference restarts the whole fan-out.
+pub fn forest_scan_sweep(cfg: &BenchConfig) -> Vec<ForestScanCell> {
+    let threads = cfg.threads.iter().copied().max().unwrap_or(2).max(2);
+    let scanners = threads / 2;
+    let updaters = threads - scanners;
+    let span = (cfg.range_small / 16).max(16);
+    let mut cells = Vec::new();
+    for &shards in &cfg.shards {
+        let shards = shards.next_power_of_two();
+        for flavor in [ScalableRcu::NAME, GlobalLockRcu::NAME] {
+            let (scans_per_s, restarts) = if flavor == ScalableRcu::NAME {
+                run_forest_scans::<ScalableRcu>(shards, scanners, updaters, span, cfg)
+            } else {
+                run_forest_scans::<GlobalLockRcu>(shards, scanners, updaters, span, cfg)
+            };
+            cells.push(ForestScanCell {
+                flavor,
+                shards,
+                scanners,
+                updaters,
+                span,
+                scans_per_s,
+                restarts,
+            });
+        }
+    }
+    cells
+}
+
+/// One timed cell of [`forest_scan_sweep`]: returns (scans/s, restarts).
+fn run_forest_scans<F: RcuFlavor>(
+    shards: usize,
+    scanners: usize,
+    updaters: usize,
+    span: u64,
+    cfg: &BenchConfig,
+) -> (f64, u64) {
+    use citrus::CitrusForest;
+    use citrus_api::testkit::SplitMix64;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    let key_range = cfg.range_small;
+    let forest: CitrusForest<u64, u64, F> =
+        CitrusForest::with_config(shards, 0xF04E, ReclaimMode::Leak);
+    {
+        let mut s = forest.session();
+        let mut rng = SplitMix64::new(0x5CA4);
+        for _ in 0..key_range / 2 {
+            let k = rng.below(key_range);
+            s.insert(k, k);
+        }
+    }
+    let done = AtomicUsize::new(0);
+    let scans = AtomicU64::new(0);
+    let barrier = Barrier::new(scanners + updaters + 1);
+    let dur = cfg.duration;
+    std::thread::scope(|s| {
+        for i in 0..updaters {
+            let (forest, done, barrier) = (&forest, &done, &barrier);
+            s.spawn(move || {
+                let mut sess = forest.session();
+                let mut rng = SplitMix64::new(0x0BD_0000 + i as u64);
+                barrier.wait();
+                while done.load(Ordering::Relaxed) < scanners {
+                    let k = rng.below(key_range);
+                    if rng.below(2) == 0 {
+                        sess.insert(k, k);
+                    } else {
+                        sess.remove(&k);
+                    }
+                }
+            });
+        }
+        for i in 0..scanners {
+            let (forest, done, scans, barrier) = (&forest, &done, &scans, &barrier);
+            s.spawn(move || {
+                let mut sess = forest.session();
+                let mut rng = SplitMix64::new(0xA5C_0000 + i as u64);
+                let mut n = 0u64;
+                barrier.wait();
+                let start = std::time::Instant::now();
+                while start.elapsed() < dur {
+                    let lo = rng.below(key_range.saturating_sub(span).max(1));
+                    let found = sess.range_scan(&lo, &(lo + span));
+                    std::hint::black_box(&found);
+                    n += 1;
+                }
+                scans.fetch_add(n, Ordering::Relaxed);
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+    });
+    (
+        scans.load(Ordering::Relaxed) as f64 / dur.as_secs_f64(),
+        forest.metrics().scan_restarts(),
+    )
+}
+
 /// Figure 9 — single-writer workload (designed to favor the RCU trees):
 /// one thread runs 50% insert / 50% delete, all others 100% contains.
 /// Two panels: key ranges small and large.
@@ -284,6 +414,22 @@ mod tests {
             assert_eq!(cell.threads, 2);
         }
         assert_eq!(cells.iter().filter(|c| c.deferred).count(), 8);
+    }
+
+    #[test]
+    fn forest_scan_sweep_smoke() {
+        let mut cfg = BenchConfig::smoke();
+        cfg.shards = vec![1, 2];
+        let cells = forest_scan_sweep(&cfg);
+        assert_eq!(cells.len(), 4, "2 shard counts × 2 flavors");
+        for cell in &cells {
+            assert!(
+                cell.scans_per_s > 0.0,
+                "every cell must complete scans: {cell:?}"
+            );
+            assert!(cell.scanners >= 1 && cell.updaters >= 1);
+            assert!(cell.span >= 16);
+        }
     }
 
     #[test]

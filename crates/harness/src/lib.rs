@@ -28,7 +28,7 @@ pub mod runner;
 pub mod workload;
 
 pub use config::BenchConfig;
-pub use experiments::ForestCell;
+pub use experiments::{ForestCell, ForestScanCell};
 pub use report::{Report, Series};
 pub use runner::{
     run_algo, run_algo_observed, run_forest_observed, run_recorded, run_throughput, ForestRun,

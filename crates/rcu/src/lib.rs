@@ -92,13 +92,17 @@ pub use scalable::{ScalableRcu, ScalableRcuHandle};
 /// a mode explicitly regardless of the environment.
 #[must_use]
 pub fn gp_sharing_from_env() -> bool {
-    !matches!(
-        std::env::var("CITRUS_RCU_NO_SHARING")
-            .ok()
-            .as_deref()
-            .map(str::trim),
-        Some("1" | "true" | "yes")
-    )
+    match std::env::var("CITRUS_RCU_NO_SHARING") {
+        Ok(raw) => match raw.trim() {
+            "1" | "true" | "yes" => false,
+            "" | "0" | "false" | "no" => true,
+            other => {
+                panic!("invalid CITRUS_RCU_NO_SHARING={other:?}: expected 1/true/yes or 0/false/no")
+            }
+        },
+        Err(std::env::VarError::NotPresent) => true,
+        Err(e) => panic!("invalid CITRUS_RCU_NO_SHARING: {e}"),
+    }
 }
 
 #[cfg(test)]

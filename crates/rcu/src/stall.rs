@@ -29,9 +29,12 @@ fn env_default_ms() -> u64 {
         Ok(v) => match v.trim().parse::<u64>() {
             Ok(0) => DISABLED,
             Ok(ms) => ms,
-            Err(_) => DEFAULT_STALL_MS,
+            Err(e) => {
+                panic!("invalid CITRUS_RCU_STALL_MS={v:?}: {e} (expected milliseconds; 0 disables)")
+            }
         },
-        Err(_) => DEFAULT_STALL_MS,
+        Err(std::env::VarError::NotPresent) => DEFAULT_STALL_MS,
+        Err(e) => panic!("invalid CITRUS_RCU_STALL_MS: {e}"),
     })
 }
 

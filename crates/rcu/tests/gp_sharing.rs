@@ -12,10 +12,13 @@ use citrus_rcu::{GlobalLockRcu, RcuFlavor, RcuHandle, ScalableRcu};
 use std::sync::atomic::Ordering;
 
 fn chaos_seed_count() -> u64 {
-    std::env::var("CITRUS_CHAOS_SEEDS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(3)
+    match std::env::var("CITRUS_CHAOS_SEEDS") {
+        Ok(raw) => raw.trim().parse().unwrap_or_else(|e| {
+            panic!("invalid CITRUS_CHAOS_SEEDS={raw:?}: {e} (expected an unsigned integer)")
+        }),
+        Err(std::env::VarError::NotPresent) => 3,
+        Err(e) => panic!("invalid CITRUS_CHAOS_SEEDS: {e}"),
+    }
 }
 
 /// The grace-period property with sharing on and off, swept over chaos

@@ -68,13 +68,17 @@ pub use metrics::ReclaimMetrics;
 /// environment.
 #[must_use]
 pub fn deferred_free_from_env() -> bool {
-    matches!(
-        std::env::var("CITRUS_DEFERRED_FREE")
-            .ok()
-            .as_deref()
-            .map(str::trim),
-        Some("1" | "true" | "yes")
-    )
+    match std::env::var("CITRUS_DEFERRED_FREE") {
+        Ok(raw) => match raw.trim() {
+            "1" | "true" | "yes" => true,
+            "" | "0" | "false" | "no" => false,
+            other => {
+                panic!("invalid CITRUS_DEFERRED_FREE={other:?}: expected 1/true/yes or 0/false/no")
+            }
+        },
+        Err(std::env::VarError::NotPresent) => false,
+        Err(e) => panic!("invalid CITRUS_DEFERRED_FREE: {e}"),
+    }
 }
 
 use citrus_chaos as chaos;

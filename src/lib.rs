@@ -26,7 +26,7 @@ pub mod prelude {
         CitrusForest, CitrusSession, CitrusTree, ForestSession, GlobalLockRcu, ReclaimMode,
         ScalableRcu,
     };
-    pub use citrus_api::{ConcurrentMap, MapSession};
+    pub use citrus_api::{ConcurrentMap, MapSession, OrderedMapSession};
     pub use citrus_baselines::{
         BonsaiTree, LazySkipList, LockFreeBst, OptimisticAvlTree, RelativisticRbTree,
     };

@@ -66,10 +66,13 @@ fn bonsai_pinned_seed() {
 /// its replay recipe before re-panicking.
 #[test]
 fn citrus_seed_sweep_smoke() {
-    let count = std::env::var("CITRUS_CHAOS_SEEDS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(3);
+    let count = match std::env::var("CITRUS_CHAOS_SEEDS") {
+        Ok(raw) => raw.trim().parse().unwrap_or_else(|e| {
+            panic!("invalid CITRUS_CHAOS_SEEDS={raw:?}: {e} (expected an unsigned integer)")
+        }),
+        Err(std::env::VarError::NotPresent) => 3,
+        Err(e) => panic!("invalid CITRUS_CHAOS_SEEDS: {e}"),
+    };
     let _watchdog = testkit::stress_watchdog("citrus_seed_sweep_smoke");
     testkit::sweep_chaos_seeds(
         || CitrusTree::<u64, u64, ScalableRcu>::with_reclaim(ReclaimMode::Epoch),

@@ -15,10 +15,13 @@ use citrus_repro::prelude::*;
 
 /// Seed count, mirroring the chaos_regression sweep convention.
 fn seeds_from_env() -> u64 {
-    std::env::var("CITRUS_CHAOS_SEEDS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(3)
+    match std::env::var("CITRUS_CHAOS_SEEDS") {
+        Ok(raw) => raw.trim().parse().unwrap_or_else(|e| {
+            panic!("invalid CITRUS_CHAOS_SEEDS={raw:?}: {e} (expected an unsigned integer)")
+        }),
+        Err(std::env::VarError::NotPresent) => 3,
+        Err(e) => panic!("invalid CITRUS_CHAOS_SEEDS: {e}"),
+    }
 }
 
 /// Sweeps chaos seeds over forest-vs-oracle agreement for one flavor and
@@ -47,6 +50,28 @@ fn agreement_sweep<F: RcuFlavor>(shards: usize, base_seed: u64) {
             panic!("forest invariant violation (seed {seed:#x}, {shards} shards): {v:?}")
         });
         assert_eq!(stats.len, oracle.len_quiescent());
+
+        // Ordered reads must agree too: the forest's k-way merge over
+        // per-shard scans must reproduce the oracle's in-order view.
+        let mut fs = forest.session();
+        let mut os = oracle.session();
+        assert_eq!(
+            fs.range_scan(&0, &127),
+            os.range_scan(&0, &127),
+            "full-range scan diverged (seed {seed:#x}, {shards} shards)"
+        );
+        for probe in [0u64, 31, 64, 97, 127] {
+            assert_eq!(
+                fs.successor(&probe),
+                os.successor(&probe),
+                "successor({probe})"
+            );
+            assert_eq!(
+                fs.predecessor(&probe),
+                os.predecessor(&probe),
+                "predecessor({probe})"
+            );
+        }
     }
 }
 
@@ -155,6 +180,61 @@ fn routing_is_a_pure_function_of_the_seed() {
             );
         }
     }
+}
+
+/// The validator's cross-shard pass has teeth at the conformance level:
+/// a key smuggled into a shard the router would never pick (here via
+/// direct shard access, standing in for a routing bug) must surface as a
+/// `MisroutedKey` — and as `CrossShardDuplicate` once the routed copy
+/// exists too, since per-shard BSTs can't see each other's keys.
+#[test]
+fn validator_catches_cross_shard_leaks() {
+    use citrus_repro::citrus::InvariantViolation;
+
+    let mut forest: CitrusForest<u64, u64> = CitrusForest::with_sharding_seed(4, 0x5EED);
+    {
+        let mut s = forest.session();
+        for k in 0u64..64 {
+            s.insert(k, k);
+        }
+    }
+    let k = 1_000_001u64;
+    let routed = forest.shard_for(&k);
+    let wrong = (routed + 1) % forest.shard_count();
+    assert!(forest.shard(wrong).session().insert(k, 1));
+
+    match forest.validate_structure() {
+        Err(InvariantViolation::MisroutedKey {
+            found_in,
+            routed_to,
+        }) => {
+            assert_eq!((found_in, routed_to), (wrong, routed));
+        }
+        other => panic!("expected MisroutedKey, got {other:?}"),
+    }
+
+    // Add the correctly-routed copy: the same key now lives in two
+    // shards, which the disjointness pass must flag.
+    assert!(forest.shard(routed).session().insert(k, 2));
+    match forest.validate_structure() {
+        Err(InvariantViolation::CrossShardDuplicate { shards }) => {
+            let mut found = [shards.0, shards.1];
+            found.sort_unstable();
+            let mut expected = [wrong, routed];
+            expected.sort_unstable();
+            assert_eq!(
+                found, expected,
+                "duplicate must name the two offending shards"
+            );
+        }
+        other => panic!("expected CrossShardDuplicate, got {other:?}"),
+    }
+
+    // Repairing the leak restores a valid forest.
+    assert!(forest.shard(wrong).session().remove(&k));
+    forest
+        .validate_structure()
+        .expect("repaired forest validates");
 }
 
 #[test]

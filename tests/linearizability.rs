@@ -16,17 +16,22 @@
 //! whose `get` serves a stale snapshot must be *rejected* with a printed
 //! minimal counterexample.
 
-use citrus_repro::citrus_api::{lincheck, testkit, ConcurrentMap, MapSession};
+use citrus_repro::citrus_api::{lincheck, testkit, ConcurrentMap, MapSession, OrderedMapSession};
 use citrus_repro::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-/// Chaos sweep width, mirroring the chaos_regression convention.
+/// Chaos sweep width, mirroring the chaos_regression convention. A
+/// malformed value is a hard error — a typo'd knob must not silently
+/// shrink the sweep.
 fn seeds_from_env() -> u64 {
-    std::env::var("CITRUS_CHAOS_SEEDS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(2)
+    match std::env::var("CITRUS_CHAOS_SEEDS") {
+        Ok(raw) => raw.trim().parse().unwrap_or_else(|e| {
+            panic!("invalid CITRUS_CHAOS_SEEDS={raw:?}: {e} (expected an unsigned integer)")
+        }),
+        Err(std::env::VarError::NotPresent) => 2,
+        Err(e) => panic!("invalid CITRUS_CHAOS_SEEDS: {e}"),
+    }
 }
 
 /// One direct check plus a chaos-seed sweep. The key range is kept small
@@ -43,6 +48,30 @@ fn lin_battery<M: ConcurrentMap<u64, u64>>(make: impl Fn() -> M, base_seed: u64)
         (ops / 2).max(50),
         16,
         base_seed ^ 0xC4A0_5000,
+        seeds_from_env(),
+    );
+}
+
+/// Ordered-read battery: the scan workload mixes `range_scan` /
+/// `successor` / `predecessor` with concurrent point updates, then the
+/// multi-key WGL checker verifies the whole history. Smaller than
+/// `lin_battery` because range components make the checker's state
+/// richer.
+fn scan_battery<M>(make: impl Fn() -> M, base_seed: u64)
+where
+    M: ConcurrentMap<u64, u64>,
+    for<'a> M::Session<'a>: OrderedMapSession<u64, u64>,
+{
+    let _watchdog = testkit::stress_watchdog("linearizability::scan_battery");
+    let threads = lincheck::lin_threads(3);
+    let ops = lincheck::lin_ops(150);
+    lincheck::check_linearizable_scans(&make, threads, ops, 16, base_seed);
+    lincheck::sweep_lincheck_scan_chaos_seeds(
+        &make,
+        threads,
+        (ops / 2).max(50),
+        12,
+        base_seed ^ 0x5CA_0000,
         seeds_from_env(),
     );
 }
@@ -134,6 +163,82 @@ fn baseline_bonsai() {
     lin_battery(BonsaiTree::<u64, u64>::new, 0x11A_0025);
 }
 
+// ---- Ordered reads: Citrus (both flavors, inline + deferred unlink),
+// ---- forest fan-out, and the Bonsai snapshot baseline -----------------
+
+#[test]
+fn scan_citrus_scalable_inline() {
+    scan_battery(
+        || CitrusTree::<u64, u64, ScalableRcu>::with_reclaim(ReclaimMode::Epoch),
+        0x5CA_0001,
+    );
+}
+
+#[test]
+fn scan_citrus_scalable_deferred() {
+    scan_battery(
+        || {
+            CitrusTree::<u64, u64, ScalableRcu>::with_options(
+                ScalableRcu::new(),
+                ReclaimMode::Epoch,
+                true,
+            )
+        },
+        0x5CA_0002,
+    );
+}
+
+#[test]
+fn scan_citrus_global_lock_inline() {
+    scan_battery(
+        || CitrusTree::<u64, u64, GlobalLockRcu>::with_reclaim(ReclaimMode::Leak),
+        0x5CA_0003,
+    );
+}
+
+#[test]
+fn scan_citrus_global_lock_deferred() {
+    scan_battery(
+        || {
+            CitrusTree::<u64, u64, GlobalLockRcu>::with_options(
+                GlobalLockRcu::new(),
+                ReclaimMode::Epoch,
+                true,
+            )
+        },
+        0x5CA_0004,
+    );
+}
+
+#[test]
+fn scan_forest_one_shard() {
+    scan_battery(
+        || CitrusForest::<u64, u64>::with_config(1, 0x5EED, ReclaimMode::Epoch),
+        0x5CA_0011,
+    );
+}
+
+#[test]
+fn scan_forest_four_shards() {
+    scan_battery(
+        || CitrusForest::<u64, u64>::with_config(4, 0x5EED, ReclaimMode::Epoch),
+        0x5CA_0014,
+    );
+}
+
+#[test]
+fn scan_forest_eight_shards() {
+    scan_battery(
+        || CitrusForest::<u64, u64>::with_config(8, 0x5EED, ReclaimMode::Epoch),
+        0x5CA_0018,
+    );
+}
+
+#[test]
+fn scan_bonsai_snapshots() {
+    scan_battery(BonsaiTree::<u64, u64>::new, 0x5CA_0025);
+}
+
 // ---- Checker validation: the broken adapter must be rejected ----------
 
 /// A deliberately broken map: updates go to the live map, but `get`
@@ -204,9 +309,11 @@ fn stale_read_adapter_is_rejected_with_minimal_counterexample() {
         .lines()
         .find(|l| l.contains("minimal non-linearizable sub-history"))
         .unwrap();
+    // Header shape: "... on key(s) K[, K...] (N ops, invocation order):" —
+    // the op count lives in the *last* paren group.
     let n_ops: usize = ops_line
-        .split('(')
-        .nth(1)
+        .rsplit('(')
+        .next()
         .and_then(|s| s.split(' ').next())
         .and_then(|s| s.parse().ok())
         .expect("counterexample header names its op count");
@@ -263,6 +370,6 @@ fn stale_read_adapter_is_rejected_concurrently() {
     let history = History::from_thread_logs(logs);
     let err = check_history(&history)
         .expect_err("a concurrent stale-read history without removes must not linearize");
-    assert!(err.key < 4);
+    assert!(err.keys.iter().all(|&k| k < 4));
     assert!(!err.ops.is_empty());
 }
