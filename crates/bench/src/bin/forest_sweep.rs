@@ -6,19 +6,28 @@
 //! key shard a private domain, so grace periods in one shard never wait on
 //! readers or updaters of another. This sweep measures throughput over
 //! `shards ∈ CITRUS_SHARDS (default 1,2,4,8) × update ratio {50%, 100%} ×
-//! RCU flavor {scalable, global-lock} × unlink mode {inline, deferred}`
-//! at the configured maximum thread count, and persists the grid —
-//! including per-shard `synchronize_rcu` and grace-period counters, the
-//! direct evidence of shard-local grace periods — to `BENCH_forest.json`.
-//! The deferred axis takes the grace-period wait off the delete path
-//! entirely (per-shard `call_rcu` batches, DESIGN.md §6g).
+//! router {hash, range} × RCU flavor {scalable, global-lock} × unlink
+//! mode {inline, deferred}` at the configured maximum thread count, and
+//! persists the grid — including per-shard `synchronize_rcu` and
+//! grace-period counters, the direct evidence of shard-local grace
+//! periods — to `BENCH_forest.json`. The deferred axis takes the
+//! grace-period wait off the delete path entirely (per-shard `call_rcu`
+//! batches, DESIGN.md §6g); the router axis establishes that point-op
+//! throughput is router-agnostic under uniform keys.
 //!
 //! A second grid measures whole-forest validated `range_scan` throughput
-//! per shard count (`scan_cells` in the JSON): hash routing makes point
-//! operations shard-local, but an ordered read must fan out to every
-//! shard and validate all the per-shard traversals together, so its
-//! throughput is expected to fall as shards grow — the documented cost
-//! model of DESIGN.md §6i.
+//! per shard count and router (`scan_cells` in the JSON), at a narrow and
+//! a full-range span. Hash routing scatters every span over every shard,
+//! so an ordered read must fan out to all of them and validate the
+//! traversals together — scans/s falls as shards grow. Range routing
+//! enters only the shards whose key ranges overlap the span, so
+//! narrow-span scans stay (near) shard-count-independent — the cost model
+//! of DESIGN.md §6i/§6j.
+//!
+//! A third grid (`skew_cells`) runs a YCSB-style `zipf:0.99` hot-key
+//! point workload per router: the tradeoff range routing pays for its
+//! scan locality is that adjacent hot keys pile into one shard, while
+//! hash routing scatters them.
 //!
 //! Flags: `--shards N[,M,...]` overrides the shard sweep, `--metrics` is
 //! accepted for uniformity with the fig binaries.
@@ -26,8 +35,8 @@
 //! [`CitrusForest`]: citrus::CitrusForest
 
 use citrus_bench::{banner, benchjson, config_from_env_and_args};
-use citrus_harness::experiments::{forest_scan_sweep, forest_sweep};
-use citrus_harness::{ForestCell, ForestScanCell};
+use citrus_harness::experiments::{forest_scan_sweep, forest_skew_sweep, forest_sweep};
+use citrus_harness::{ForestCell, ForestScanCell, ForestSkewCell};
 use std::fmt::Write as _;
 
 /// Satellite record: the `Node` hot-head cache-alignment change that rode
@@ -51,7 +60,11 @@ const ALIGNMENT_NOTE: &str = "node hot-head cache alignment (repr(C, align(64)))
      grace_periods_per_shard collapsed ~50x as the mechanism evidence. The isolated \
      retire path (BENCH_rcu_micro.json, retire cells) shows the win the forest mix \
      dilutes: deferred beats inline-synchronize retirement ~4x at every updater count \
-     even on this host.";
+     even on this host. Router axis: point cells are expected router-agnostic under \
+     uniform keys; scan cells pay the all-shard fan-out tax under hash routing but \
+     only enter overlapping shards under range routing, so narrow-span range-routed \
+     scans should not fall as shards grow; skew cells record the converse tradeoff \
+     (zipf hot keys concentrate into one range-routed shard, see occupancy).";
 
 fn fmt_ops(v: f64) -> String {
     if v >= 1e6 {
@@ -63,13 +76,14 @@ fn fmt_ops(v: f64) -> String {
     }
 }
 
-fn print_grid(cells: &[ForestCell], contains_pct: u32, shards: &[usize]) {
+fn print_grid(cells: &[ForestCell], contains_pct: u32, router: &str, shards: &[usize]) {
     let threads = cells.first().map_or(0, |c| c.threads);
     println!(
-        "== {}% contains / {}% updates, {} threads ==",
+        "== {}% contains / {}% updates, {} threads, {} router ==",
         contains_pct,
         100 - contains_pct,
-        threads
+        threads,
+        router
     );
     print!("{:<22}", "flavor \\ shards");
     for s in shards {
@@ -86,6 +100,7 @@ fn print_grid(cells: &[ForestCell], contains_pct: u32, shards: &[usize]) {
             for &s in shards {
                 let cell = cells.iter().find(|c| {
                     c.flavor == flavor
+                        && c.router == router
                         && c.shards == s
                         && c.contains_pct == contains_pct
                         && c.deferred == deferred
@@ -104,6 +119,7 @@ fn print_grid(cells: &[ForestCell], contains_pct: u32, shards: &[usize]) {
     for deferred in [false, true] {
         if let Some(c) = cells.iter().find(|c| {
             c.flavor == "rcu-scalable"
+                && c.router == router
                 && c.contains_pct == contains_pct
                 && c.deferred == deferred
                 && c.shards == shards.iter().copied().max().unwrap_or(1)
@@ -135,14 +151,17 @@ fn cell_json(c: &ForestCell) -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "{{\"flavor\": \"{}\", \"shards\": {}, \"contains_pct\": {}, \"threads\": {}, \
-         \"deferred\": {}, \"ops_per_s\": {}, \"sync_calls_per_shard\": [{}], \
-         \"grace_periods_per_shard\": [{}], \"occupancy\": [{}]}}",
+        "{{\"flavor\": \"{}\", \"router\": \"{}\", \"shards\": {}, \"contains_pct\": {}, \
+         \"threads\": {}, \"deferred\": {}, \"key_dist\": \"{}\", \"ops_per_s\": {}, \
+         \"sync_calls_per_shard\": [{}], \"grace_periods_per_shard\": [{}], \
+         \"occupancy\": [{}]}}",
         benchjson::esc(c.flavor),
+        benchjson::esc(c.router),
         c.shards,
         c.contains_pct,
         c.threads,
         c.deferred,
+        benchjson::esc(&c.key_dist),
         benchjson::num(c.run.ops_per_s),
         vec_u64(&c.run.sync_calls_per_shard),
         vec_u64(&c.run.grace_periods_per_shard),
@@ -150,12 +169,10 @@ fn cell_json(c: &ForestCell) -> String {
     )
 }
 
-fn print_scan_grid(cells: &[ForestScanCell], shards: &[usize]) {
-    let (scanners, updaters, span) = cells
-        .first()
-        .map_or((0, 0, 0), |c| (c.scanners, c.updaters, c.span));
+fn print_scan_grid(cells: &[ForestScanCell], router: &str, span: u64, shards: &[usize]) {
+    let (scanners, updaters) = cells.first().map_or((0, 0), |c| (c.scanners, c.updaters));
     println!(
-        "== whole-forest range scans, {scanners} scanners vs {updaters} updaters, span {span} =="
+        "== range scans, {scanners} scanners vs {updaters} updaters, span {span}, {router} router =="
     );
     print!("{:<22}", "flavor \\ shards");
     for s in shards {
@@ -165,31 +182,117 @@ fn print_scan_grid(cells: &[ForestScanCell], shards: &[usize]) {
     for flavor in ["rcu-scalable", "rcu-global-lock"] {
         print!("{flavor:<22}");
         for &s in shards {
-            match cells.iter().find(|c| c.flavor == flavor && c.shards == s) {
+            let cell = cells.iter().find(|c| {
+                c.flavor == flavor && c.router == router && c.span == span && c.shards == s
+            });
+            match cell {
                 Some(c) => print!("{:>10}", fmt_ops(c.scans_per_s)),
                 None => print!("{:>10}", "-"),
             }
         }
         println!();
     }
-    println!(
-        "(expected: scans/s falls with shard count — every scan must fan out to\n\
-         all shards and validate them together, the price of hash routing for\n\
-         ordered reads; point ops in the grid above pay no such tax)\n"
-    );
+    if router == "hash" {
+        println!(
+            "(expected: scans/s falls with shard count — hash routing scatters every\n\
+             span over every shard, so each scan fans out to all of them and\n\
+             validates the traversals together)\n"
+        );
+    } else {
+        println!(
+            "(expected: narrow spans stay flat or rise with shard count — range\n\
+             routing enters only the shards whose key ranges overlap the span;\n\
+             full-range spans still touch every shard and behave like hash)\n"
+        );
+    }
 }
 
 fn scan_cell_json(c: &ForestScanCell) -> String {
     format!(
-        "{{\"flavor\": \"{}\", \"shards\": {}, \"scanners\": {}, \"updaters\": {}, \
-         \"span\": {}, \"scans_per_s\": {}, \"restarts\": {}}}",
+        "{{\"flavor\": \"{}\", \"router\": \"{}\", \"shards\": {}, \"scanners\": {}, \
+         \"updaters\": {}, \"span\": {}, \"scans_per_s\": {}, \"restarts\": {}}}",
         benchjson::esc(c.flavor),
+        benchjson::esc(c.router),
         c.shards,
         c.scanners,
         c.updaters,
         c.span,
         benchjson::num(c.scans_per_s),
         c.restarts
+    )
+}
+
+fn print_skew_grid(cells: &[ForestSkewCell], shards: &[usize]) {
+    let (threads, dist) = cells
+        .first()
+        .map_or((0, String::new()), |c| (c.threads, c.key_dist.clone()));
+    println!("== hot-key point ops ({dist}), {threads} threads, 50% contains ==");
+    print!("{:<22}", "router \\ shards");
+    for s in shards {
+        print!("{s:>10}");
+    }
+    println!();
+    for router in ["hash", "range"] {
+        print!("{router:<22}");
+        for &s in shards {
+            match cells.iter().find(|c| c.router == router && c.shards == s) {
+                Some(c) => print!("{:>10}", fmt_ops(c.run.ops_per_s)),
+                None => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    }
+    // Per-shard synchronize calls at the widest point are the skew
+    // evidence: occupancy stays prefill-uniform (hot-key inserts and
+    // deletes cancel out), but the two-child deletes behind those calls
+    // follow the hot keys — into one shard under range routing, spread
+    // under hash.
+    let widest = shards.iter().copied().max().unwrap_or(1);
+    for router in ["hash", "range"] {
+        if let Some(c) = cells
+            .iter()
+            .find(|c| c.router == router && c.shards == widest)
+        {
+            println!(
+                "{router} @ {} shards: sync calls/shard {:?}",
+                c.shards, c.run.sync_calls_per_shard
+            );
+        }
+    }
+    println!(
+        "(the tradeoff bought by scan locality: zipf traffic is adjacent-key\n\
+         traffic, so range routing funnels it into one shard's grace-period\n\
+         domain while hash routing spreads it)\n"
+    );
+}
+
+fn skew_cell_json(c: &ForestSkewCell) -> String {
+    let vec_u64 = |v: &[u64]| {
+        v.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let occupancy = c
+        .run
+        .occupancy
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"flavor\": \"{}\", \"router\": \"{}\", \"shards\": {}, \"key_dist\": \"{}\", \
+         \"contains_pct\": {}, \"threads\": {}, \"ops_per_s\": {}, \
+         \"sync_calls_per_shard\": [{}], \"occupancy\": [{}]}}",
+        benchjson::esc(c.flavor),
+        benchjson::esc(c.router),
+        c.shards,
+        benchjson::esc(&c.key_dist),
+        c.contains_pct,
+        c.threads,
+        benchjson::num(c.run.ops_per_s),
+        vec_u64(&c.run.sync_calls_per_shard),
+        occupancy
     )
 }
 
@@ -200,11 +303,23 @@ fn main() {
     let cells = forest_sweep(&cfg);
 
     for contains_pct in [50u32, 0] {
-        print_grid(&cells, contains_pct, &shards);
+        for router in ["hash", "range"] {
+            print_grid(&cells, contains_pct, router, &shards);
+        }
     }
 
     let scan_cells = forest_scan_sweep(&cfg);
-    print_scan_grid(&scan_cells, &shards);
+    let mut spans: Vec<u64> = scan_cells.iter().map(|c| c.span).collect();
+    spans.sort_unstable();
+    spans.dedup();
+    for router in ["hash", "range"] {
+        for &span in &spans {
+            print_scan_grid(&scan_cells, router, span, &shards);
+        }
+    }
+
+    let skew_cells = forest_skew_sweep(&cfg);
+    print_skew_grid(&skew_cells, &shards);
 
     let mut body = String::new();
     let _ = write!(
@@ -229,6 +344,15 @@ fn main() {
             "{}\n    {}",
             if i == 0 { "" } else { "," },
             scan_cell_json(c)
+        );
+    }
+    body.push_str("\n  ],\n  \"skew_cells\": [");
+    for (i, c) in skew_cells.iter().enumerate() {
+        let _ = write!(
+            body,
+            "{}\n    {}",
+            if i == 0 { "" } else { "," },
+            skew_cell_json(c)
         );
     }
     body.push_str("\n  ]\n}\n");

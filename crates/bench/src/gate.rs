@@ -35,7 +35,7 @@ pub const METRIC_KEYS: [&str; 5] = [
 /// Object fields that identify a row (workload configuration). Scalar
 /// fields outside this list — measured counters like `piggybacks` — are
 /// ignored entirely, so their run-to-run noise cannot unmatch a row.
-pub const IDENTITY_KEYS: [&str; 14] = [
+pub const IDENTITY_KEYS: [&str; 16] = [
     "bench",
     "label",
     "flavor",
@@ -50,6 +50,8 @@ pub const IDENTITY_KEYS: [&str; 14] = [
     "mode",
     "scanners",
     "span",
+    "router",
+    "key_dist",
 ];
 
 /// Default tolerated drop before a row fails the gate, in percent.
@@ -362,6 +364,31 @@ mod tests {
         assert!(
             !row.contains("restarts"),
             "restart counts are measured noise, not identity: {row}"
+        );
+    }
+
+    #[test]
+    fn router_and_key_dist_are_identity() {
+        // Forest cells carry the routing policy and key distribution; the
+        // same shard count under different routers must be distinct rows,
+        // so a fast range cell cannot mask a regressed hash cell.
+        let base = doc(r#"{"cells": [
+                {"flavor": "a", "shards": 4, "router": "hash", "key_dist": "uniform", "ops_per_s": 1000.0},
+                {"flavor": "a", "shards": 4, "router": "range", "key_dist": "uniform", "ops_per_s": 3000.0}
+            ]}"#);
+        let fresh = doc(r#"{"cells": [
+                {"flavor": "a", "shards": 4, "router": "hash", "key_dist": "uniform", "ops_per_s": 100.0},
+                {"flavor": "a", "shards": 4, "router": "range", "key_dist": "uniform", "ops_per_s": 3000.0}
+            ]}"#);
+        let report = check(&base, &fresh, 30.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].row.contains("router=hash"));
+
+        let rows = collect_rows(&base);
+        let row = rows.keys().next().unwrap();
+        assert!(
+            row.contains("router=") && row.contains("key_dist="),
+            "row was {row}"
         );
     }
 }

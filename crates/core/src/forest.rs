@@ -17,14 +17,33 @@
 //!
 //! # Routing
 //!
-//! A key is routed by a *seeded multiplicative hash*: the key's standard
-//! [`Hash`] digest is XORed with the forest's sharding seed, multiplied by
-//! the 64-bit golden-ratio constant, and the product's high bits select
-//! the shard (a multiply-shift, which for power-of-two shard counts equals
-//! taking the top `log2(n)` bits — no shift-by-64 edge case at `n = 1`).
-//! Routing is a pure function of `(key, seed, shard_count)`: the same seed
-//! always yields the same routing, and `get`/`contains` stay wait-free —
-//! one shard lookup, then one RCU read-side section in that shard alone.
+//! A forest routes each key through one of two pluggable policies
+//! ([`RouterKind`]); both are pure functions of the key and the forest's
+//! configuration, and under both `get`/`contains` stay wait-free — one
+//! shard lookup, then one RCU read-side section in that shard alone.
+//!
+//! * **Hash** (the default): a *seeded multiplicative hash*. The key's
+//!   standard [`Hash`] digest is XORed with the forest's sharding seed,
+//!   multiplied by the 64-bit golden-ratio constant, and the product's
+//!   high bits select the shard (a multiply-shift, which for power-of-two
+//!   shard counts equals taking the top `log2(n)` bits — no shift-by-64
+//!   edge case at `n = 1`). Skew-resistant: adversarial or hot adjacent
+//!   keys scatter across shards. The cost shows up in ordered reads,
+//!   which must fan out to every shard (next section).
+//! * **Range** ([`with_range_router`](CitrusForest::with_range_router)):
+//!   a strictly ascending splitter array partitions the key space into
+//!   contiguous per-shard ranges — with splitters `s₀ < s₁ < … < sₘ`,
+//!   shard `0` owns `(-∞, s₀)`, shard `i` owns `[sᵢ₋₁, sᵢ)`, and shard
+//!   `m+1` owns `[sₘ, ∞)` (a key equal to a splitter routes to the upper
+//!   shard). Ordered reads now enter **only** the shards their span
+//!   overlaps, at the price of hash routing's skew resistance: hot
+//!   adjacent keys all land in one shard.
+//!
+//! `u64`-keyed forests can pick the policy at run time via
+//! `CITRUS_ROUTER=hash|range`
+//! ([`with_env_router`](CitrusForest::with_env_router)), with evenly
+//! spaced default splitters ([`even_splitters`]) over the workload's key
+//! range.
 //!
 //! # What stays per-shard vs. global
 //!
@@ -41,18 +60,28 @@
 //!
 //! # Concurrent ordered reads
 //!
-//! Routing is hashed, so *every* shard can hold keys in any key range: a
-//! range scan must fan out to all shards, an Ω(shard count) cost per scan
-//! no matter how few keys match — the price hash routing pays for skew
-//! resistance (DESIGN.md §6i). To stay linearizable the fan-out cannot
-//! scan shards one after another — shard A's snapshot would predate shard
-//! B's, and a writer completing two inserts between them could be
-//! observed half-done. Instead the session enters **every** shard's
-//! read-side context, collects a validated traversal per shard, and only
-//! then re-checks all recorded edges across all shards, restarting the
-//! whole fan-out if any moved. All reads precede all re-checks, so a
-//! successful pass observed every shard simultaneously at one instant;
-//! the per-shard results k-way merge into one ascending list.
+//! To stay linearizable a multi-shard read cannot scan shards one after
+//! another — shard A's snapshot would predate shard B's, and a writer
+//! completing two inserts between them could be observed half-done.
+//! Instead the session enters the relevant shards' read-side contexts,
+//! collects a validated traversal per shard, and only then re-checks all
+//! recorded edges across those shards, restarting the whole fan-out if
+//! any moved. All reads precede all re-checks, so a successful pass
+//! observed every entered shard simultaneously at one instant; the
+//! per-shard results k-way merge into one ascending list.
+//!
+//! Which shards are "relevant" is the routers' big divergence. Under hash
+//! routing *every* shard can hold keys in any key range, so a scan fans
+//! out to all shards — an Ω(shard count) cost no matter how few keys
+//! match, the price paid for skew resistance (DESIGN.md §6i). Under range
+//! routing a span `[lo, hi]` overlaps exactly the contiguous shard run
+//! `shard_for(lo) ..= shard_for(hi)`, so the fan-out (grace-period
+//! domains entered, edges validated, merge width) shrinks to the overlap
+//! — restricting the joint validation to a subset is sound because the
+//! routing invariant guarantees the skipped shards hold no key in the
+//! span (DESIGN.md §6j). `successor`/`predecessor` probe outward from the
+//! key's home shard one adjacent shard at a time, and almost always stop
+//! after one or two.
 //!
 //! [`len_quiescent`]: CitrusForest::len_quiescent
 //! [`to_vec_quiescent`]: CitrusForest::to_vec_quiescent
@@ -81,6 +110,100 @@ const STRIPES: usize = 32;
 /// bits the multiply-shift router reads.
 const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Which routing policy a [`CitrusForest`] maps keys to shards with (see
+/// the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// Seeded multiplicative hash (the default): skew-resistant, but
+    /// ordered reads fan out to every shard.
+    Hash,
+    /// Ordered splitter array: each shard owns a contiguous key range, so
+    /// ordered reads enter only the shards their span overlaps — at the
+    /// price of hash routing's skew resistance.
+    Range,
+}
+
+impl RouterKind {
+    /// Stable label used in bench JSON identity rows and CI lane output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Hash => "hash",
+            Self::Range => "range",
+        }
+    }
+
+    /// Parses a router label; `name` is the knob being parsed, for the
+    /// error message. Malformed values are hard errors, per the repo's
+    /// env-knob convention: a typo must not silently bench the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `raw` (trimmed) is `""`, `"hash"`, or `"range"`.
+    #[must_use]
+    pub fn parse(name: &str, raw: &str) -> Self {
+        match raw.trim() {
+            "" | "hash" => Self::Hash,
+            "range" => Self::Range,
+            other => panic!("invalid {name}={other:?}: expected \"hash\" or \"range\""),
+        }
+    }
+
+    /// Reads the `CITRUS_ROUTER` environment knob (`hash` when unset).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value (see [`parse`](Self::parse)).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("CITRUS_ROUTER") {
+            Ok(raw) => Self::parse("CITRUS_ROUTER", &raw),
+            Err(std::env::VarError::NotPresent) => Self::Hash,
+            Err(err) => panic!("invalid CITRUS_ROUTER: {err}"),
+        }
+    }
+}
+
+impl fmt::Display for RouterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The routing policy instance behind [`CitrusForest::shard_for`].
+enum Router<K> {
+    /// Seeded multiplicative hash over the key's [`Hash`] digest.
+    Hash {
+        /// XORed into the digest before the golden-ratio multiply.
+        seed: u64,
+    },
+    /// Strictly ascending splitters: shard `i` owns
+    /// `[splitters[i-1], splitters[i])`, with the first and last shards
+    /// unbounded below and above. `splitters.len() + 1 == shard count`.
+    Range { splitters: Box<[K]> },
+}
+
+/// Evenly spaced splitters partitioning `[0, key_range)` into `shards`
+/// contiguous ranges — the default splitter set `CITRUS_ROUTER=range`
+/// uses. Keys at or above `key_range` all land in the last shard, which
+/// additionally owns `[key_range · (shards-1)/shards, ∞)`.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`, or if `key_range < shards` (the splitters
+/// would collide instead of ascending strictly).
+#[must_use]
+pub fn even_splitters(shards: usize, key_range: u64) -> Vec<u64> {
+    assert!(shards > 0, "even_splitters: at least one shard required");
+    assert!(
+        key_range >= shards as u64,
+        "even_splitters: key range {key_range} cannot split into {shards} non-empty shard ranges"
+    );
+    (1..shards as u64)
+        .map(|i| ((u128::from(i) * u128::from(key_range)) / shards as u128) as u64)
+        .collect()
+}
+
 /// Routing metrics for a [`CitrusForest`]: how many operations each shard
 /// received, and a [`Log2Histogram`] of per-shard occupancy to expose
 /// routing skew. No-ops unless built with the `stats` feature.
@@ -92,6 +215,10 @@ pub struct ForestMetrics {
     scans: Counter,
     /// Fan-outs that failed cross-shard validation and restarted.
     scan_restarts: Counter,
+    /// Total shards entered by completed fan-out ordered reads; divided
+    /// by `scans` this is the mean fan-out width — the quantity range
+    /// routing exists to shrink.
+    fanout_shards: Counter,
     /// Per-shard key counts observed by
     /// [`CitrusForest::record_occupancy`].
     shard_occupancy: Log2Histogram,
@@ -105,6 +232,7 @@ impl ForestMetrics {
             routed: (0..shards).map(|_| Counter::new(STRIPES)).collect(),
             scans: Counter::new(STRIPES),
             scan_restarts: Counter::new(STRIPES),
+            fanout_shards: Counter::new(STRIPES),
             shard_occupancy: Log2Histogram::new(),
             next_stripe: AtomicUsize::new(0),
         }
@@ -133,6 +261,12 @@ impl ForestMetrics {
         self.scan_restarts.incr(stripe);
     }
 
+    /// Records the shard width of one completed fan-out.
+    #[inline]
+    fn record_fanout(&self, shards: usize, stripe: usize) {
+        self.fanout_shards.add(stripe, shards as u64);
+    }
+
     /// Operations routed to `shard` so far (`0` with stats off).
     #[must_use]
     pub fn routed_to(&self, shard: usize) -> u64 {
@@ -152,6 +286,15 @@ impl ForestMetrics {
         self.scan_restarts.get()
     }
 
+    /// Total shards entered by completed fan-out ordered reads (`0` with
+    /// stats off). `fanout_shards() / scans()` is the mean fan-out width:
+    /// always the shard count under hash routing, the span overlap under
+    /// range routing.
+    #[must_use]
+    pub fn fanout_shards(&self) -> u64 {
+        self.fanout_shards.get()
+    }
+
     /// The per-shard occupancy histogram.
     #[must_use]
     pub fn shard_occupancy(&self) -> &Log2Histogram {
@@ -165,6 +308,7 @@ impl ForestMetrics {
         }
         registry.register_counter(component, "scans", &self.scans);
         registry.register_counter(component, "scan_restarts", &self.scan_restarts);
+        registry.register_counter(component, "fanout_shards", &self.fanout_shards);
         registry.register_histogram(component, "shard_occupancy", &self.shard_occupancy);
     }
 }
@@ -190,10 +334,11 @@ impl ForestMetrics {
 /// assert_eq!(session.get(&1), None);
 /// ```
 pub struct CitrusForest<K, V, F: RcuFlavor = ScalableRcu> {
-    /// The shard trees; `len()` is always a power of two.
+    /// The shard trees; `len()` is a power of two under hash routing,
+    /// `splitters.len() + 1` under range routing.
     shards: Box<[CitrusTree<K, V, F>]>,
-    /// Sharding seed; XORed into the key digest before the multiply.
-    seed: u64,
+    /// How keys map to shard indices.
+    router: Router<K>,
     metrics: ForestMetrics,
 }
 
@@ -243,8 +388,76 @@ impl<K: Send + Sync, V: Send + Sync, F: RcuFlavor> CitrusForest<K, V, F> {
             shards: (0..n)
                 .map(|_| CitrusTree::with_options(F::new(), mode, deferred))
                 .collect(),
-            seed,
+            router: Router::Hash { seed },
             metrics: ForestMetrics::new(n),
+        }
+    }
+}
+
+impl<K: Ord + Send + Sync, V: Send + Sync, F: RcuFlavor> CitrusForest<K, V, F> {
+    /// Creates a range-routed forest: `splitters.len() + 1` shards, each
+    /// owning a contiguous key range (see the [module docs](self)), with
+    /// the default reclamation mode and the `CITRUS_DEFERRED_FREE` knob.
+    /// An empty splitter list is the degenerate single-shard forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `splitters` is strictly ascending.
+    #[must_use]
+    pub fn with_range_router(splitters: Vec<K>) -> Self {
+        Self::with_range_router_options(
+            splitters,
+            ReclaimMode::default(),
+            citrus_reclaim::deferred_free_from_env(),
+        )
+    }
+
+    /// Fully explicit range-routed constructor; the reclamation knobs
+    /// mean the same as in [`with_options`](Self::with_options).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `splitters` is strictly ascending.
+    #[must_use]
+    pub fn with_range_router_options(splitters: Vec<K>, mode: ReclaimMode, deferred: bool) -> Self {
+        assert!(
+            splitters.windows(2).all(|w| w[0] < w[1]),
+            "range-router splitters must be strictly ascending"
+        );
+        let n = splitters.len() + 1;
+        Self {
+            shards: (0..n)
+                .map(|_| CitrusTree::with_options(F::new(), mode, deferred))
+                .collect(),
+            router: Router::Range {
+                splitters: splitters.into_boxed_slice(),
+            },
+            metrics: ForestMetrics::new(n),
+        }
+    }
+}
+
+impl<V: Send + Sync, F: RcuFlavor> CitrusForest<u64, V, F> {
+    /// Builds a `u64`-keyed forest with the router picked by the
+    /// `CITRUS_ROUTER` environment knob: `hash` (the default) behaves
+    /// exactly like [`with_config`](Self::with_config); `range`
+    /// partitions `[0, key_range)` with [`even_splitters`] (the seed is
+    /// then unused). `n` is rounded up to a power of two in **both** arms
+    /// so the two routers sweep identical shard counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `CITRUS_ROUTER` value, or in `range`
+    /// mode when `key_range` is smaller than the rounded shard count.
+    #[must_use]
+    pub fn with_env_router(n: usize, seed: u64, mode: ReclaimMode, key_range: u64) -> Self {
+        let deferred = citrus_reclaim::deferred_free_from_env();
+        let n = n.max(1).next_power_of_two();
+        match RouterKind::from_env() {
+            RouterKind::Hash => Self::with_options(n, seed, mode, deferred),
+            RouterKind::Range => {
+                Self::with_range_router_options(even_splitters(n, key_range), mode, deferred)
+            }
         }
     }
 }
@@ -256,10 +469,32 @@ impl<K, V, F: RcuFlavor> CitrusForest<K, V, F> {
         self.shards.len()
     }
 
-    /// The sharding seed.
+    /// The hash router's sharding seed (`0` under range routing, which
+    /// has no seed).
     #[must_use]
     pub fn sharding_seed(&self) -> u64 {
-        self.seed
+        match self.router {
+            Router::Hash { seed } => seed,
+            Router::Range { .. } => 0,
+        }
+    }
+
+    /// Which routing policy this forest was built with.
+    #[must_use]
+    pub fn router_kind(&self) -> RouterKind {
+        match self.router {
+            Router::Hash { .. } => RouterKind::Hash,
+            Router::Range { .. } => RouterKind::Range,
+        }
+    }
+
+    /// The range router's splitter array (`None` under hash routing).
+    #[must_use]
+    pub fn splitters(&self) -> Option<&[K]> {
+        match &self.router {
+            Router::Hash { .. } => None,
+            Router::Range { splitters } => Some(splitters),
+        }
     }
 
     /// Borrows shard `i` (diagnostics and tests).
@@ -372,19 +607,40 @@ impl<K, V, F: RcuFlavor> CitrusForest<K, V, F> {
     }
 }
 
-impl<K: Hash, V, F: RcuFlavor> CitrusForest<K, V, F> {
-    /// Routes `key` to its shard index: seeded digest → golden-ratio
-    /// multiply → multiply-shift by the shard count. Pure in
-    /// `(key, seed, shard_count)`.
+impl<K: Hash + Ord, V, F: RcuFlavor> CitrusForest<K, V, F> {
+    /// Routes `key` to its shard index. Hash router: seeded digest →
+    /// golden-ratio multiply → multiply-shift by the shard count, pure in
+    /// `(key, seed, shard_count)`. Range router: binary search of the
+    /// splitter array, pure in `(key, splitters)` — a key equal to a
+    /// splitter routes to the upper shard (splitter ranges are
+    /// low-inclusive).
     #[must_use]
     pub fn shard_for(&self, key: &K) -> usize {
-        let mut hasher = std::hash::DefaultHasher::new();
-        key.hash(&mut hasher);
-        let mixed = (hasher.finish() ^ self.seed).wrapping_mul(GOLDEN_GAMMA);
-        // Lemire multiply-shift: maps the 64-bit mix uniformly onto
-        // [0, n). For power-of-two n this is exactly the top log2(n) bits,
-        // with no undefined shift at n = 1.
-        ((u128::from(mixed) * self.shards.len() as u128) >> 64) as usize
+        match &self.router {
+            Router::Hash { seed } => {
+                let mut hasher = std::hash::DefaultHasher::new();
+                key.hash(&mut hasher);
+                let mixed = (hasher.finish() ^ seed).wrapping_mul(GOLDEN_GAMMA);
+                // Lemire multiply-shift: maps the 64-bit mix uniformly
+                // onto [0, n). For power-of-two n this is exactly the top
+                // log2(n) bits, with no undefined shift at n = 1.
+                ((u128::from(mixed) * self.shards.len() as u128) >> 64) as usize
+            }
+            // Shard i owns [splitters[i-1], splitters[i]): the key's
+            // shard is the count of splitters at or below it.
+            Router::Range { splitters } => splitters.partition_point(|s| s <= key),
+        }
+    }
+
+    /// The contiguous shard index range `[first, last]` an ordered read
+    /// over `[lo, hi]` must enter: every shard under hash routing, only
+    /// the overlapping run under range routing (contiguity is what makes
+    /// the subset fan-out a simple slice).
+    fn shards_for_span(&self, lo: &K, hi: &K) -> (usize, usize) {
+        match &self.router {
+            Router::Hash { .. } => (0, self.shards.len() - 1),
+            Router::Range { .. } => (self.shard_for(lo), self.shard_for(hi)),
+        }
     }
 }
 
@@ -494,7 +750,8 @@ impl<K, V, F: RcuFlavor> fmt::Debug for CitrusForest<K, V, F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CitrusForest")
             .field("shards", &self.shards.len())
-            .field("seed", &self.seed)
+            .field("router", &self.router_kind().as_str())
+            .field("seed", &self.sharding_seed())
             .field("rcu", &F::NAME)
             .field("reclaim", &self.reclaim_mode())
             .finish_non_exhaustive()
@@ -538,18 +795,24 @@ where
     V: Clone + Send + Sync,
     F: RcuFlavor,
 {
+    /// Creates shard `idx`'s session if this thread hasn't touched the
+    /// shard yet.
+    fn ensure_session(&mut self, idx: usize) {
+        let slot = &mut self.sessions[idx];
+        if slot.is_none() {
+            chaos::point!("forest/session/lazy-init");
+            *slot = Some(self.forest.shards[idx].session());
+        }
+    }
+
     /// Routes `key` and returns the shard's session, creating it on first
     /// touch.
     fn session_for(&mut self, key: &K) -> &mut CitrusSession<'t, K, V, F> {
         chaos::point!("forest/route/before-shard");
         let idx = self.forest.shard_for(key);
         self.forest.metrics.record_route(idx, self.stripe);
-        let slot = &mut self.sessions[idx];
-        if slot.is_none() {
-            chaos::point!("forest/session/lazy-init");
-            *slot = Some(self.forest.shards[idx].session());
-        }
-        slot.as_mut().expect("slot populated above")
+        self.ensure_session(idx);
+        self.sessions[idx].as_mut().expect("ensured above")
     }
 
     /// Returns the value associated with `key`, if present. Wait-free:
@@ -575,29 +838,28 @@ where
         self.session_for(key).remove(key)
     }
 
-    /// Runs one fan-out ordered read to a validated completion: enter
-    /// every shard's read-side context, collect one traversal per shard,
-    /// then re-check every recorded edge across every shard — restarting
-    /// the **whole** fan-out when any moved. Scanning shards one after
-    /// another would not be linearizable (shard A's snapshot would
-    /// predate shard B's); holding all contexts and validating after all
-    /// reads extends the single-tree common-instant argument across the
-    /// forest (see the module docs).
+    /// Runs one fan-out ordered read over shards `first..=last` to a
+    /// validated completion: enter each entered shard's read-side
+    /// context, collect one traversal per shard, then re-check every
+    /// recorded edge across all of them — restarting the **whole**
+    /// fan-out when any moved. Scanning shards one after another would
+    /// not be linearizable (shard A's snapshot would predate shard B's);
+    /// holding all contexts and validating after all reads extends the
+    /// single-tree common-instant argument across the entered subset.
+    /// Restricting to a subset is only sound when the router guarantees
+    /// the skipped shards cannot answer the query (see the module docs).
     fn fan_out<T>(
         &mut self,
+        first: usize,
+        last: usize,
         collect: impl Fn(&CitrusSession<'t, K, V, F>) -> ScanAttempt<K, V>,
         extract: impl Fn(&[ScanAttempt<K, V>]) -> T,
     ) -> T {
         chaos::point!("forest/scan/fan-out");
-        // Fan-out reads touch every shard: materialize all sessions.
-        for (idx, slot) in self.sessions.iter_mut().enumerate() {
-            if slot.is_none() {
-                chaos::point!("forest/session/lazy-init");
-                *slot = Some(self.forest.shards[idx].session());
-            }
+        for idx in first..=last {
+            self.ensure_session(idx);
         }
-        let sessions: Vec<&CitrusSession<'t, K, V, F>> = self
-            .sessions
+        let sessions: Vec<&CitrusSession<'t, K, V, F>> = self.sessions[first..=last]
             .iter()
             .map(|slot| slot.as_ref().expect("materialized above"))
             .collect();
@@ -605,14 +867,18 @@ where
             let guards: Vec<_> = sessions.iter().map(|s| s.ordered_read_enter()).collect();
             let attempts: Vec<ScanAttempt<K, V>> = sessions.iter().map(|&s| collect(s)).collect();
             chaos::point!("forest/scan/validate");
-            // SAFETY: `guards` still holds every shard's read-side
-            // section and pin the attempts were collected under.
+            // SAFETY: `guards` still holds every entered shard's
+            // read-side section and pin the attempts were collected
+            // under.
             let ok = chaos::mutant_enabled("citrus/scan/skip-validation")
                 || attempts.iter().all(|a| unsafe { a.validate() });
             if ok {
                 let out = extract(&attempts);
                 drop(guards);
                 self.forest.metrics.record_scan(self.stripe);
+                self.forest
+                    .metrics
+                    .record_fanout(attempts.len(), self.stripe);
                 return out;
             }
             drop(guards);
@@ -621,13 +887,22 @@ where
         }
     }
 
-    /// Every `(key, value)` pair with `lo <= key <= hi` across all
-    /// shards, in ascending key order, observed atomically. Hash routing
-    /// scatters any key range over every shard, so this fans out to all
-    /// of them and k-way merges the per-shard results — an Ω(shard count)
-    /// cost per scan no matter how narrow the range (module docs).
+    /// Every `(key, value)` pair with `lo <= key <= hi`, in ascending key
+    /// order, observed atomically. Hash routing scatters any key range
+    /// over every shard, so the fan-out enters all of them — an Ω(shard
+    /// count) cost per scan no matter how narrow the range; range routing
+    /// enters only the shards `[lo, hi]` overlaps (module docs). The
+    /// per-shard results k-way merge into one ascending list.
     pub fn range_scan(&mut self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        if lo > hi {
+            // An empty span holds at every instant; no shard need be
+            // entered (and `shards_for_span` would invert on it).
+            return Vec::new();
+        }
+        let (first, last) = self.forest.shards_for_span(lo, hi);
         self.fan_out(
+            first,
+            last,
             |session| session.collect_range(lo, hi),
             |attempts| {
                 // SAFETY: `fan_out` extracts while every shard guard is
@@ -637,38 +912,126 @@ where
         )
     }
 
-    /// The entry with the least key strictly greater than `key` across
-    /// all shards, observed atomically: one candidate path per shard,
-    /// validated together, minimum candidate wins.
+    /// The entry with the least key strictly greater than `key`, observed
+    /// atomically. Hash routing fans out to every shard (one candidate
+    /// path per shard, validated together, minimum candidate wins); range
+    /// routing probes outward from the key's home shard and usually stops
+    /// after one or two shards ([`directed_probe`](Self::directed_probe)).
     pub fn successor(&mut self, key: &K) -> Option<(K, V)> {
-        self.fan_out(
-            |session| session.collect_directed(key, Dir::Right),
-            |attempts| {
-                attempts
-                    .iter()
-                    // SAFETY: `fan_out` extracts while every shard guard
-                    // is still held.
-                    .filter_map(|a| unsafe { a.candidate() })
-                    .min_by(|a, b| a.0.cmp(&b.0))
-            },
-        )
+        match self.forest.router_kind() {
+            RouterKind::Range => self.directed_probe(key, Dir::Right),
+            RouterKind::Hash => self.fan_out(
+                0,
+                self.forest.shard_count() - 1,
+                |session| session.collect_directed(key, Dir::Right),
+                |attempts| {
+                    attempts
+                        .iter()
+                        // SAFETY: `fan_out` extracts while every shard
+                        // guard is still held.
+                        .filter_map(|a| unsafe { a.candidate() })
+                        .min_by(|a, b| a.0.cmp(&b.0))
+                },
+            ),
+        }
     }
 
-    /// The entry with the greatest key strictly less than `key` across
-    /// all shards, observed atomically (mirror of
-    /// [`successor`](Self::successor)).
+    /// The entry with the greatest key strictly less than `key`, observed
+    /// atomically (mirror of [`successor`](Self::successor)).
     pub fn predecessor(&mut self, key: &K) -> Option<(K, V)> {
-        self.fan_out(
-            |session| session.collect_directed(key, Dir::Left),
-            |attempts| {
-                attempts
-                    .iter()
-                    // SAFETY: `fan_out` extracts while every shard guard
-                    // is still held.
-                    .filter_map(|a| unsafe { a.candidate() })
-                    .max_by(|a, b| a.0.cmp(&b.0))
-            },
-        )
+        match self.forest.router_kind() {
+            RouterKind::Range => self.directed_probe(key, Dir::Left),
+            RouterKind::Hash => self.fan_out(
+                0,
+                self.forest.shard_count() - 1,
+                |session| session.collect_directed(key, Dir::Left),
+                |attempts| {
+                    attempts
+                        .iter()
+                        // SAFETY: `fan_out` extracts while every shard
+                        // guard is still held.
+                        .filter_map(|a| unsafe { a.candidate() })
+                        .max_by(|a, b| a.0.cmp(&b.0))
+                },
+            ),
+        }
+    }
+
+    /// Range-router successor/predecessor: probe the key's home shard,
+    /// then widen one adjacent shard at a time in the probe direction
+    /// until a jointly validated attempt either holds a candidate or the
+    /// forest is exhausted. Shards are ordered under range routing, so
+    /// the first shard in probe order with any qualifying key owns the
+    /// answer — almost always the home shard or its neighbor, vs. hash
+    /// routing's unconditional all-shard fan-out.
+    ///
+    /// Each widened round re-collects **every** probed shard under one
+    /// set of guards and validates them jointly: probing shards one after
+    /// another would not be linearizable, because a writer could insert a
+    /// closer key into an already-probed shard and the eventually-found
+    /// answer into a later one between probes, making the returned entry
+    /// wrong at every single instant. Only the final validated round
+    /// establishes the linearization point; earlier rounds merely steer
+    /// the widening.
+    fn directed_probe(&mut self, key: &K, side: Dir) -> Option<(K, V)> {
+        chaos::point!("forest/scan/fan-out");
+        let start = self.forest.shard_for(key);
+        let max_width = match side {
+            Dir::Right => self.forest.shard_count() - start,
+            Dir::Left => start + 1,
+        };
+        let shard_at = |step: usize| match side {
+            Dir::Right => start + step,
+            Dir::Left => start - step,
+        };
+        let mut width = 1;
+        loop {
+            for step in 0..width {
+                self.ensure_session(shard_at(step));
+            }
+            let mut guards = Vec::with_capacity(width);
+            let mut attempts: Vec<ScanAttempt<K, V>> = Vec::with_capacity(width);
+            let mut found = false;
+            for step in 0..width {
+                let session = self.sessions[shard_at(step)]
+                    .as_ref()
+                    .expect("ensured above");
+                guards.push(session.ordered_read_enter());
+                let attempt = session.collect_directed(key, side);
+                found = attempt.has_candidate();
+                attempts.push(attempt);
+                if found {
+                    break;
+                }
+            }
+            chaos::point!("forest/scan/validate");
+            // SAFETY: `guards` still holds every probed shard's read-side
+            // section and pin the attempts were collected under.
+            let ok = chaos::mutant_enabled("citrus/scan/skip-validation")
+                || attempts.iter().all(|a| unsafe { a.validate() });
+            if !ok {
+                drop(guards);
+                self.forest.metrics.record_scan_restart(self.stripe);
+                chaos::point!("forest/scan/restart");
+                continue;
+            }
+            if found || width == max_width {
+                // The last probed shard is the first in probe order with
+                // a candidate (or the probe exhausted the forest empty);
+                // range partitioning orders whole shards, so its
+                // candidate beats every key in the shards beyond it.
+                // SAFETY: as above — guards still held.
+                let out = attempts.last().and_then(|a| unsafe { a.candidate() });
+                drop(guards);
+                self.forest.metrics.record_scan(self.stripe);
+                self.forest
+                    .metrics
+                    .record_fanout(attempts.len(), self.stripe);
+                return out;
+            }
+            drop(guards);
+            width += 1;
+        }
     }
 
     /// How many shard sessions this session has actually created.
@@ -860,6 +1223,210 @@ mod tests {
         assert_eq!(s.predecessor(&1), Some((0, 0)));
         assert_eq!(s.predecessor(&0), None);
         assert_eq!(s.live_shard_sessions(), 4, "fan-out touches every shard");
+    }
+
+    #[test]
+    fn range_router_routes_by_splitters() {
+        let f: Forest = Forest::with_range_router(vec![100, 200, 300]);
+        assert_eq!(f.shard_count(), 4);
+        assert_eq!(f.router_kind(), RouterKind::Range);
+        assert_eq!(f.splitters(), Some(&[100u64, 200, 300][..]));
+        assert_eq!(f.shard_for(&u64::MIN), 0);
+        assert_eq!(f.shard_for(&99), 0);
+        // A key exactly at a splitter belongs to the upper shard: shard
+        // ranges are low-inclusive.
+        assert_eq!(f.shard_for(&100), 1);
+        assert_eq!(f.shard_for(&199), 1);
+        assert_eq!(f.shard_for(&200), 2);
+        assert_eq!(f.shard_for(&300), 3);
+        assert_eq!(f.shard_for(&u64::MAX), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn range_router_rejects_unsorted_splitters() {
+        let _: Forest = Forest::with_range_router(vec![10, 10]);
+    }
+
+    #[test]
+    fn degenerate_empty_splitter_list_is_single_shard() {
+        let f: Forest = Forest::with_range_router(vec![]);
+        assert_eq!(f.shard_count(), 1);
+        for key in [0u64, 1, 1000, u64::MAX] {
+            assert_eq!(f.shard_for(&key), 0);
+        }
+        let mut s = f.session();
+        assert!(s.insert(5, 50));
+        assert!(s.insert(u64::MAX, 1));
+        assert_eq!(
+            s.range_scan(&0, &u64::MAX),
+            vec![(5, 50), (u64::MAX, 1)],
+            "degenerate forest still scans"
+        );
+    }
+
+    #[test]
+    fn even_splitters_partition_evenly() {
+        assert_eq!(even_splitters(1, 100), vec![]);
+        assert_eq!(even_splitters(4, 100), vec![25, 50, 75]);
+        assert_eq!(even_splitters(4, 4), vec![1, 2, 3]);
+        let s = even_splitters(8, 1 << 20);
+        assert_eq!(s.len(), 7);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn even_splitters_reject_too_small_key_range() {
+        let _ = even_splitters(8, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "CITRUS_ROUTER")]
+    fn router_kind_rejects_unknown_labels() {
+        let _ = RouterKind::parse("CITRUS_ROUTER", "radix");
+    }
+
+    #[test]
+    fn router_kind_parses_labels() {
+        assert_eq!(RouterKind::parse("CITRUS_ROUTER", ""), RouterKind::Hash);
+        assert_eq!(RouterKind::parse("CITRUS_ROUTER", "hash"), RouterKind::Hash);
+        assert_eq!(
+            RouterKind::parse("CITRUS_ROUTER", " range "),
+            RouterKind::Range
+        );
+    }
+
+    #[test]
+    fn range_scans_enter_only_overlapping_shards() {
+        let f: Forest = Forest::with_range_router(vec![100, 200, 300]);
+        let mut writer = f.session();
+        for k in 0..400u64 {
+            assert!(writer.insert(k, k * 10));
+        }
+        drop(writer);
+
+        // A span inside one shard's range touches exactly that shard.
+        let mut s = f.session();
+        let mid = s.range_scan(&120, &180);
+        assert_eq!(mid.len(), 61);
+        assert_eq!(mid[0], (120, 1200));
+        assert_eq!(mid[60], (180, 1800));
+        assert_eq!(s.live_shard_sessions(), 1, "narrow span: one shard");
+
+        // A span crossing two splitters touches exactly three shards.
+        let mut s = f.session();
+        let wide = s.range_scan(&50, &250);
+        assert_eq!(wide.len(), 201);
+        assert!(wide.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+        assert_eq!(s.live_shard_sessions(), 3, "wide span: three shards");
+
+        // Span edges exactly on a shard boundary: [100, 199] lives wholly
+        // in shard 1; [100, 200] additionally touches shard 2.
+        let mut s = f.session();
+        assert_eq!(s.range_scan(&100, &199).len(), 100);
+        assert_eq!(s.live_shard_sessions(), 1, "boundary-to-boundary span");
+        assert_eq!(s.range_scan(&100, &200).len(), 101);
+        assert_eq!(s.live_shard_sessions(), 2, "span ending on a splitter");
+
+        // Inverted span: no shard entered at all.
+        let mut s = f.session();
+        assert_eq!(s.range_scan(&19, &10), vec![]);
+        assert_eq!(s.live_shard_sessions(), 0, "empty span enters nothing");
+    }
+
+    #[test]
+    fn directed_probes_widen_only_as_needed() {
+        let f: Forest = Forest::with_range_router(vec![100, 200]);
+        let mut writer = f.session();
+        assert!(writer.insert(50, 1));
+        assert!(writer.insert(150, 2));
+        drop(writer);
+
+        // Successor answered by the home shard: one session.
+        let mut s = f.session();
+        assert_eq!(s.successor(&10), Some((50, 1)));
+        assert_eq!(s.live_shard_sessions(), 1);
+
+        // Home shard exhausted rightward: widen to the next shard.
+        let mut s = f.session();
+        assert_eq!(s.successor(&50), Some((150, 2)));
+        assert_eq!(s.live_shard_sessions(), 2);
+
+        // Predecessor mirrors: home shard 1 has nothing below 150, so the
+        // probe widens down to shard 0.
+        let mut s = f.session();
+        assert_eq!(s.predecessor(&150), Some((50, 1)));
+        assert_eq!(s.live_shard_sessions(), 2);
+
+        // Probes that exhaust the forest still answer correctly.
+        let mut s = f.session();
+        assert_eq!(s.successor(&150), None);
+        assert_eq!(s.predecessor(&50), None);
+        assert_eq!(s.successor(&u64::MAX), None);
+        assert_eq!(s.predecessor(&u64::MIN), None);
+
+        // A key exactly at a splitter probes from the upper shard.
+        let mut s = f.session();
+        assert_eq!(s.successor(&100), Some((150, 2)));
+        assert_eq!(s.live_shard_sessions(), 1, "splitter key: upper shard");
+        assert_eq!(s.predecessor(&100), Some((50, 1)));
+    }
+
+    #[test]
+    fn range_router_boundary_keys_round_trip() {
+        let f: Forest = Forest::with_range_router(vec![100, 200]);
+        let mut s = f.session();
+        for k in [u64::MIN, 99, 100, 101, 199, 200, u64::MAX] {
+            assert!(s.insert(k, k.wrapping_add(1)));
+        }
+        for k in [u64::MIN, 99, 100, 101, 199, 200, u64::MAX] {
+            assert_eq!(s.get(&k), Some(k.wrapping_add(1)), "key {k}");
+        }
+        assert_eq!(s.successor(&u64::MIN), Some((99, 100)));
+        assert_eq!(s.predecessor(&u64::MAX), Some((200, 201)));
+        let all = s.range_scan(&u64::MIN, &u64::MAX);
+        assert_eq!(all.len(), 7);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+        drop(s);
+        let mut f = f;
+        let stats = f.validate_structure().unwrap();
+        assert_eq!(stats.len, 7);
+    }
+
+    #[test]
+    fn cross_shard_validation_catches_range_misroutes() {
+        // Plant a key in a shard outside its `[low, high)` range — what a
+        // splitter-comparison bug would do.
+        let mut f: Forest = Forest::with_range_router(vec![100, 200, 300]);
+        f.shards[0].session().insert(250, 1);
+        match f.validate_structure() {
+            Err(InvariantViolation::MisroutedKey {
+                found_in,
+                routed_to,
+            }) => {
+                assert_eq!(found_in, 0);
+                assert_eq!(routed_to, 2, "250 belongs to [200, 300)");
+            }
+            other => panic!("expected a misrouted key, got {other:?}"),
+        }
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn fanout_width_metric_tracks_router() {
+        let hash: Forest = Forest::with_shards(4);
+        let mut s = hash.session();
+        s.insert(1, 1);
+        s.range_scan(&0, &3);
+        assert_eq!(hash.metrics().fanout_shards(), 4, "hash: all shards");
+        drop(s);
+
+        let range: Forest = Forest::with_range_router(vec![100, 200, 300]);
+        let mut s = range.session();
+        s.insert(1, 1);
+        s.range_scan(&0, &3);
+        assert_eq!(range.metrics().fanout_shards(), 1, "range: overlap only");
     }
 
     #[test]

@@ -76,7 +76,7 @@ mod tree;
 pub use checks::{InvariantViolation, TreeStats};
 pub use citrus_rcu::{GlobalLockRcu, RcuFlavor, ScalableRcu};
 pub use citrus_reclaim::{deferred_free_from_env, CallRcu, CallRcuConfig};
-pub use forest::{CitrusForest, ForestMetrics, ForestSession};
+pub use forest::{even_splitters, CitrusForest, ForestMetrics, ForestSession, RouterKind};
 pub use metrics::TreeMetrics;
 pub use tree::{CitrusSession, CitrusTree, ReclaimMode, SessionStats};
 

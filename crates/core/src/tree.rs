@@ -707,6 +707,14 @@ impl<K, V> ScanAttempt<K, V> {
             }
         })
     }
+
+    /// Whether the attempt recorded any candidate hit. Safe: only the hit
+    /// list's emptiness is inspected, no node is dereferenced — the forest's
+    /// widening directed probe uses this to decide whether to stop before
+    /// the attempt has been validated.
+    pub(crate) fn has_candidate(&self) -> bool {
+        !self.hits.is_empty()
+    }
 }
 
 impl<K: Ord + Clone, V: Clone> ScanAttempt<K, V> {

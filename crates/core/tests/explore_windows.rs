@@ -405,6 +405,126 @@ fn torn_scan_sweep_is_clean_with_validation() {
     report.assert_clean(scenario.name);
 }
 
+// ---- Range-routed forest: partial fan-out windows (DESIGN.md §6j) -----
+
+/// A 2-shard range forest with its splitter at 16: keys below 16 live in
+/// shard 0, the rest in shard 1. Built explicitly (not via the
+/// `CITRUS_ROUTER` env knob) so these windows are swept in every CI lane.
+fn make_range_forest() -> Forest {
+    Forest::with_range_router_options(vec![16], ReclaimMode::Leak, false)
+}
+
+fn validate_forest(forest: &mut Forest) -> Result<(), String> {
+    forest
+        .validate_structure()
+        .map(|_| ())
+        .map_err(|v| format!("forest invariant violated: {v:?}"))
+}
+
+/// remove(20) takes the two-child path inside shard 1 (children 18 and
+/// 30, successor 25) while a cross-shard scan runs. The scan's partial
+/// fan-out enters both shards — 10 lives in shard 0 — and must validate
+/// the per-shard traversals jointly: either it restarts on the splice or
+/// it returns a set some instant really held, never 20/25 torn across
+/// the window.
+fn range_forest_scan_scenario(name: &'static str) -> ScheduleScenario {
+    ScheduleScenario::new(name)
+        .prefill(&[(20, 200), (18, 180), (30, 300), (25, 250), (10, 100)])
+        .thread(&[ScenarioOp::Remove(20)])
+        .thread(&[ScenarioOp::Scan(0, 100)])
+}
+
+#[test]
+fn range_forest_scan_window_sweep_is_clean() {
+    let _wd = stress_watchdog("range_forest_scan_window_sweep_is_clean");
+    let scenario = range_forest_scan_scenario("range-forest-scan-vs-two-child-delete");
+    let report = explore_schedules_with(make_range_forest, &scenario, bounded(2), validate_forest);
+    report.assert_clean(scenario.name);
+    if !report.completed {
+        return;
+    }
+    assert!(report.schedules > 1, "sweep must enumerate real schedules");
+    for point in [
+        "citrus/scan/step",
+        "forest/scan/validate",
+        "citrus/remove/before-synchronize",
+    ] {
+        assert!(
+            report.points_hit.contains(point),
+            "sweep never reached {point}; hit: {:?}",
+            report.points_hit
+        );
+    }
+}
+
+/// Torn-scan scenario inside shard 1 of the range forest (leaf remove of
+/// 18 plus a fresh insert of 25 under 30): an unvalidated traversal
+/// preempted between the two can collect both — a set no instant held.
+fn range_forest_torn_scan_scenario(name: &'static str) -> ScheduleScenario {
+    ScheduleScenario::new(name)
+        .prefill(&[(20, 200), (18, 180), (30, 300), (10, 100)])
+        .thread(&[ScenarioOp::Remove(18), ScenarioOp::Insert(25, 250)])
+        .thread(&[ScenarioOp::Scan(0, 100)])
+}
+
+/// The partial fan-out's joint validation has teeth too: with validation
+/// skipped, the explorer must find the torn cross-shard traversal at a
+/// low preemption bound, the reported schedule must replay to the same
+/// failure, and the identical schedule must pass once validation is back.
+#[test]
+fn range_forest_scan_skip_validation_mutant_is_caught() {
+    let _wd = stress_watchdog("range_forest_scan_skip_validation_mutant_is_caught");
+    let scenario = range_forest_torn_scan_scenario("range-forest-torn-scan-mutant");
+    let guard = enable_mutant("citrus/scan/skip-validation");
+    let report = explore_schedules_with(make_range_forest, &scenario, bounded(2), validate_forest);
+    let failure = report
+        .failure
+        .expect("skipping the partial fan-out's validation must be caught");
+    eprintln!("[mutant] range-forest torn-scan minimal schedule: {failure}");
+    assert!(
+        failure.preemptions <= 2,
+        "iterative deepening must find a low-bound witness, got {}",
+        failure.preemptions
+    );
+    assert!(
+        failure.reason.contains("non-linearizable"),
+        "the witness must be a linearizability violation, got: {}",
+        failure.reason
+    );
+    let rerun = replay_schedule_with(
+        make_range_forest,
+        &scenario,
+        &failure.schedule,
+        validate_forest,
+    );
+    assert!(
+        rerun.verdict.is_err() || !rerun.outcome.clean(),
+        "replaying the failing schedule must reproduce the failure"
+    );
+    drop(guard);
+    let fixed = replay_schedule_with(
+        make_range_forest,
+        &scenario,
+        &failure.schedule,
+        validate_forest,
+    );
+    assert!(
+        fixed.outcome.clean() && fixed.verdict.is_ok(),
+        "the minimal schedule must pass once validation is restored: {:?}",
+        fixed.verdict
+    );
+}
+
+/// The same torn-scan scenario with validation on: every interleaving up
+/// to the bound restarts instead of returning a torn result.
+#[test]
+fn range_forest_torn_scan_sweep_is_clean_with_validation() {
+    let _wd = stress_watchdog("range_forest_torn_scan_sweep_is_clean_with_validation");
+    let scenario = range_forest_torn_scan_scenario("range-forest-torn-scan-validated");
+    let report = explore_schedules_with(make_range_forest, &scenario, bounded(2), validate_forest);
+    report.assert_clean(scenario.name);
+}
+
 /// Finds one key per shard of a 2-shard forest by probing the shard trees
 /// directly (routing is hash-based, so the constants are not obvious).
 fn keys_in_distinct_shards() -> (u64, u64) {

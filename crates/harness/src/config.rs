@@ -1,5 +1,7 @@
 //! Environment-driven scaling of the benchmark suite.
 
+use crate::keydist::KeyDist;
+use citrus::RouterKind;
 use std::time::Duration;
 
 /// Global benchmark parameters.
@@ -19,6 +21,8 @@ use std::time::Duration;
 /// | `CITRUS_SHARDS` | comma-separated forest shard counts | `1,2,4,8` | — |
 /// | `CITRUS_METRICS` | attach internal-metrics sections to reports | unset | — |
 /// | `CITRUS_DEFERRED_FREE` | defer two-child-delete unlinks to `call_rcu` batches (`1`/`true`/`yes`) in env-driven constructors; the forest sweep A/Bs both modes regardless | unset | — |
+/// | `CITRUS_ROUTER` | forest routing policy (`hash`/`range`) in env-driven constructors; the forest sweep A/Bs both routers regardless | `hash` | — |
+/// | `CITRUS_KEY_DIST` | key distribution for timed workload draws (`uniform`/`zipf:<theta>`); prefill stays uniform | `uniform` | — |
 ///
 /// Metric collection also requires the `stats` feature (on by default in
 /// `citrus-bench`); without it the metrics sections are empty.
@@ -44,6 +48,11 @@ pub struct BenchConfig {
     /// Collect internal metrics (RCU, reclamation, tree counters) during
     /// the highest-thread-count point of each figure panel.
     pub collect_metrics: bool,
+    /// Forest routing policy for env-driven constructions (the forest
+    /// sweep's router axis A/Bs both regardless).
+    pub router: RouterKind,
+    /// Key distribution for timed workload draws.
+    pub key_dist: KeyDist,
 }
 
 /// Parses one numeric knob value, panicking with the variable name and
@@ -114,6 +123,8 @@ impl BenchConfig {
             shards: env_counts("CITRUS_SHARDS", "1,2,4,8"),
             collect_metrics: std::env::var("CITRUS_METRICS")
                 .is_ok_and(|v| v != "0" && !v.is_empty()),
+            router: RouterKind::from_env(),
+            key_dist: KeyDist::from_env(),
         }
     }
 
@@ -127,6 +138,8 @@ impl BenchConfig {
             range_large: 2_048,
             shards: vec![1, 2],
             collect_metrics: false,
+            router: RouterKind::Hash,
+            key_dist: KeyDist::Uniform,
         }
     }
 }

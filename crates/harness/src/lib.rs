@@ -23,12 +23,14 @@
 
 pub mod config;
 pub mod experiments;
+pub mod keydist;
 pub mod report;
 pub mod runner;
 pub mod workload;
 
 pub use config::BenchConfig;
-pub use experiments::{ForestCell, ForestScanCell};
+pub use experiments::{ForestCell, ForestScanCell, ForestSkewCell};
+pub use keydist::{KeyDist, KeySampler};
 pub use report::{Report, Series};
 pub use runner::{
     run_algo, run_algo_observed, run_forest_observed, run_recorded, run_throughput, ForestRun,

@@ -1,7 +1,10 @@
 //! Timed throughput runs (the paper's measurement loop).
 
 use crate::workload::{Algo, OpKind, WorkloadSpec};
-use citrus::{CitrusForest, CitrusTree, GlobalLockRcu, RcuFlavor, ReclaimMode, ScalableRcu};
+use citrus::{
+    even_splitters, CitrusForest, CitrusTree, GlobalLockRcu, RcuFlavor, ReclaimMode, RouterKind,
+    ScalableRcu,
+};
 use citrus_api::testkit::SplitMix64;
 use citrus_api::{ConcurrentMap, MapSession};
 use citrus_baselines::{
@@ -111,6 +114,9 @@ pub fn run_throughput<M: ConcurrentMap<u64, u64>>(
     assert!(spec.threads > 0, "at least one worker required");
     prefill(map, spec, seed ^ 0xF177);
 
+    // Built once (the Zipfian tables cost O(key_range)) and cloned per
+    // worker; draws stay seeded per thread.
+    let sampler = spec.key_dist.sampler(spec.key_range);
     let stop = AtomicBool::new(false);
     // Workers + the timer thread all start together.
     let barrier = Barrier::new(spec.threads + 1);
@@ -121,6 +127,7 @@ pub fn run_throughput<M: ConcurrentMap<u64, u64>>(
         for t in 0..spec.threads {
             let (stop, barrier) = (&stop, &barrier);
             let spec = spec.clone();
+            let sampler = sampler.clone();
             let map = &*map;
             handles.push(scope.spawn(move || {
                 let mut rng = SplitMix64::new(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
@@ -141,7 +148,7 @@ pub fn run_throughput<M: ConcurrentMap<u64, u64>>(
                 while !stop.load(Ordering::Relaxed) {
                     // Batch a few operations per stop-flag check.
                     for _ in 0..32 {
-                        let key = rng.below(spec.key_range);
+                        let key = sampler.sample(&mut rng);
                         match mix.pick(rng.below(100) as u32) {
                             OpKind::Contains => {
                                 std::hint::black_box(session.get(&key));
@@ -232,12 +239,14 @@ pub fn run_recorded<M: ConcurrentMap<u64, u64>>(
         session.finish()
     };
 
+    let sampler = spec.key_dist.sampler(spec.key_range);
     let barrier = Barrier::new(spec.threads);
     let mut logs: Vec<Vec<citrus_api::lincheck::RecordedOp>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.threads)
             .map(|t| {
                 let (barrier, recorder, map) = (&barrier, &recorder, &*map);
                 let spec = spec.clone();
+                let sampler = sampler.clone();
                 scope.spawn(move || {
                     let mut rng = SplitMix64::new(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
                     let mut session = recorder.wrap(t, map.session());
@@ -252,7 +261,7 @@ pub fn run_recorded<M: ConcurrentMap<u64, u64>>(
                     };
                     barrier.wait();
                     for i in 0..ops_per_thread {
-                        let key = rng.below(spec.key_range);
+                        let key = sampler.sample(&mut rng);
                         match mix.pick(rng.below(100) as u32) {
                             OpKind::Contains => {
                                 session.get(&key);
@@ -380,13 +389,16 @@ pub struct ForestRun {
 /// workload, and reports mean throughput plus the last repetition's
 /// per-shard counters. `deferred` pins whether two-child deletes defer
 /// their unlink to per-shard `call_rcu` batches or synchronize inline
-/// (the A/B axis of the deferred-free sweep). The last repetition
-/// registers its metrics into `observer` (with per-shard component
-/// labels) when given.
+/// (the A/B axis of the deferred-free sweep); `router` picks the routing
+/// policy (range routing splits the spec's key range evenly). The last
+/// repetition registers its metrics into `observer` (with per-shard
+/// component labels) when given.
+#[allow(clippy::too_many_arguments)]
 pub fn run_forest_observed<F: RcuFlavor>(
     shards: usize,
     mode: ReclaimMode,
     deferred: bool,
+    router: RouterKind,
     spec: &WorkloadSpec,
     reps: usize,
     seed: u64,
@@ -398,9 +410,17 @@ pub fn run_forest_observed<F: RcuFlavor>(
     for rep in 0..reps {
         let rep_seed = seed ^ (rep as u64) << 32;
         // Fresh structure per repetition, as in the paper. Sharding seed 0
-        // keeps routing identical across flavors and repetitions.
-        let forest: CitrusForest<u64, u64, F> =
-            CitrusForest::with_options(shards, 0, mode, deferred);
+        // keeps routing identical across flavors and repetitions; range
+        // routing is shard-count-normalized the same way the forest
+        // constructor normalizes `shards`.
+        let forest: CitrusForest<u64, u64, F> = match router {
+            RouterKind::Hash => CitrusForest::with_options(shards, 0, mode, deferred),
+            RouterKind::Range => CitrusForest::with_range_router_options(
+                even_splitters(shards.max(1).next_power_of_two(), spec.key_range),
+                mode,
+                deferred,
+            ),
+        };
         if rep + 1 == reps {
             if let Some((registry, prefix)) = observer {
                 forest.register_metrics_prefixed(registry, prefix);
@@ -587,25 +607,56 @@ mod tests {
     fn forest_run_reports_per_shard_counters() {
         let spec = WorkloadSpec::new(400, OpMix::with_contains(50), 2, Duration::from_millis(30));
         for deferred in [false, true] {
-            let r = run_forest_observed::<ScalableRcu>(
-                4,
-                ReclaimMode::Epoch,
-                deferred,
-                &spec,
-                1,
-                17,
-                None,
-            );
-            assert!(r.ops_per_s > 0.0);
-            assert_eq!(r.sync_calls_per_shard.len(), 4);
-            assert_eq!(r.grace_periods_per_shard.len(), 4);
-            assert_eq!(r.occupancy.len(), 4);
-            assert!(
-                r.occupancy.iter().filter(|&&n| n > 0).count() >= 2,
-                "uniform keys should populate most shards: {:?}",
-                r.occupancy
-            );
+            for router in [RouterKind::Hash, RouterKind::Range] {
+                let r = run_forest_observed::<ScalableRcu>(
+                    4,
+                    ReclaimMode::Epoch,
+                    deferred,
+                    router,
+                    &spec,
+                    1,
+                    17,
+                    None,
+                );
+                assert!(r.ops_per_s > 0.0);
+                assert_eq!(r.sync_calls_per_shard.len(), 4);
+                assert_eq!(r.grace_periods_per_shard.len(), 4);
+                assert_eq!(r.occupancy.len(), 4);
+                assert!(
+                    r.occupancy.iter().filter(|&&n| n > 0).count() >= 2,
+                    "uniform keys should populate most shards: {:?}",
+                    r.occupancy
+                );
+            }
         }
+    }
+
+    #[test]
+    fn zipfian_runs_hammer_the_hot_range_shard() {
+        use crate::keydist::KeyDist;
+
+        // Under range routing a Zipfian workload's hot keys are adjacent,
+        // so shard 0 should absorb the bulk of the routed traffic — the
+        // skew cost the bench's skew cells document.
+        let spec = WorkloadSpec::new(400, OpMix::with_contains(50), 2, Duration::from_millis(30))
+            .with_key_dist(KeyDist::Zipf { theta: 0.99 });
+        let r = run_forest_observed::<ScalableRcu>(
+            4,
+            ReclaimMode::Leak,
+            false,
+            RouterKind::Range,
+            &spec,
+            1,
+            23,
+            None,
+        );
+        assert!(r.ops_per_s > 0.0);
+        // Prefill stays uniform, so occupancy still spreads.
+        assert!(
+            r.occupancy.iter().filter(|&&n| n > 0).count() >= 2,
+            "uniform prefill should populate most shards: {:?}",
+            r.occupancy
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Workload specification: operation mixes, key ranges, thread counts.
 
+use crate::keydist::KeyDist;
 use core::fmt;
 use std::time::Duration;
 
@@ -81,7 +82,7 @@ pub(crate) enum OpKind {
 /// A full workload configuration for one throughput run.
 #[derive(Debug, Clone)]
 pub struct WorkloadSpec {
-    /// Keys are drawn uniformly from `[0, key_range)`.
+    /// Keys are drawn from `[0, key_range)` per [`key_dist`](Self::key_dist).
     pub key_range: u64,
     /// Operation mix for (non-single-writer) worker threads.
     pub mix: OpMix,
@@ -93,12 +94,17 @@ pub struct WorkloadSpec {
     /// other thread runs 100% `contains`.
     pub single_writer: bool,
     /// Number of distinct keys pre-inserted before timing (the paper uses
-    /// half the key range).
+    /// half the key range). Prefill keys are always drawn uniformly, so
+    /// skewed runs start from the same occupancy as uniform ones.
     pub prefill: u64,
+    /// Distribution the timed phase draws its keys from (the paper's
+    /// methodology is [`KeyDist::Uniform`]).
+    pub key_dist: KeyDist,
 }
 
 impl WorkloadSpec {
-    /// The paper's configuration: prefill to half the key range.
+    /// The paper's configuration: prefill to half the key range, uniform
+    /// key draws.
     pub fn new(key_range: u64, mix: OpMix, threads: usize, duration: Duration) -> Self {
         Self {
             key_range,
@@ -107,6 +113,7 @@ impl WorkloadSpec {
             duration,
             single_writer: false,
             prefill: key_range / 2,
+            key_dist: KeyDist::Uniform,
         }
     }
 
@@ -119,7 +126,16 @@ impl WorkloadSpec {
             duration,
             single_writer: true,
             prefill: key_range / 2,
+            key_dist: KeyDist::Uniform,
         }
+    }
+
+    /// The same workload with its timed draws taken from `dist` (prefill
+    /// stays uniform).
+    #[must_use]
+    pub fn with_key_dist(mut self, dist: KeyDist) -> Self {
+        self.key_dist = dist;
+        self
     }
 }
 

@@ -23,8 +23,8 @@ pub use citrus_sync;
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
     pub use citrus::{
-        CitrusForest, CitrusSession, CitrusTree, ForestSession, GlobalLockRcu, ReclaimMode,
-        ScalableRcu,
+        even_splitters, CitrusForest, CitrusSession, CitrusTree, ForestSession, GlobalLockRcu,
+        ReclaimMode, RouterKind, ScalableRcu,
     };
     pub use citrus_api::{ConcurrentMap, MapSession, OrderedMapSession};
     pub use citrus_baselines::{

@@ -9,6 +9,12 @@
 //! operation stream via `testkit::check_map_agreement`. Shard counts
 //! cover the boundary cases: 1 (degenerate single-tree forest), 3
 //! (rounds up to 4 — non-power-of-two request), and 8.
+//!
+//! The sweeps construct their forests through `with_env_router`, so the
+//! whole battery runs against the hash router by default and against the
+//! range router when CI's router lane sets `CITRUS_ROUTER=range`. The
+//! explicitly range-routed tests at the bottom (splitter boundaries,
+//! planted misroutes) run in both lanes regardless.
 
 use citrus_repro::citrus_api::testkit;
 use citrus_repro::prelude::*;
@@ -33,7 +39,7 @@ fn agreement_sweep<F: RcuFlavor>(shards: usize, base_seed: u64) {
         let seed = base_seed.wrapping_add(i);
         let _chaos = testkit::install_chaos(testkit::ChaosPlan::from_seed(seed));
         let forest: CitrusForest<u64, u64, F> =
-            CitrusForest::with_config(shards, seed, ReclaimMode::Epoch);
+            CitrusForest::with_env_router(shards, seed, ReclaimMode::Epoch, 128);
         let oracle: CitrusTree<u64, u64, F> = CitrusTree::with_reclaim(ReclaimMode::Epoch);
         testkit::check_map_agreement(&forest, &oracle, 600, 128, seed);
 
@@ -235,6 +241,148 @@ fn validator_catches_cross_shard_leaks() {
     forest
         .validate_structure()
         .expect("repaired forest validates");
+}
+
+/// Router-aware leak detection under range routing: a key planted in a
+/// shard whose range does not contain it (direct shard access standing
+/// in for a splitter bug) must surface as `MisroutedKey` naming both the
+/// offending and the correct shard — the validator consults the actual
+/// router, not a hard-coded hash.
+#[test]
+fn range_router_validator_catches_planted_leaks() {
+    use citrus_repro::citrus::InvariantViolation;
+
+    let mut forest: CitrusForest<u64, u64> = CitrusForest::with_range_router(vec![100, 200, 300]);
+    {
+        let mut s = forest.session();
+        for k in (0u64..400).step_by(7) {
+            assert!(s.insert(k, k));
+        }
+    }
+    forest
+        .validate_structure()
+        .expect("honestly routed forest validates");
+
+    // 250 belongs to shard 2 (range [200, 300)); smuggle it into shard 0.
+    assert_eq!(forest.shard_for(&250), 2);
+    assert!(forest.shard(0).session().insert(250, 1));
+    match forest.validate_structure() {
+        Err(InvariantViolation::MisroutedKey {
+            found_in,
+            routed_to,
+        }) => {
+            assert_eq!((found_in, routed_to), (0, 2));
+        }
+        other => panic!("expected MisroutedKey, got {other:?}"),
+    }
+
+    // Repairing the leak restores a valid forest.
+    assert!(forest.shard(0).session().remove(&250));
+    forest
+        .validate_structure()
+        .expect("repaired forest validates");
+}
+
+/// Boundary-key battery: keys exactly at the routing boundaries,
+/// `u64::MIN`/`u64::MAX`, and spans starting/ending exactly on those
+/// boundaries must round-trip identically to a `BTreeMap` oracle.
+/// `splitters` names the boundary keys to probe around; it matches the
+/// forest's actual splitters in the range-routed run and is just a set of
+/// interesting keys in the hash-routed one.
+fn boundary_battery(mut forest: CitrusForest<u64, u64>, splitters: &[u64]) {
+    use std::collections::BTreeMap;
+    use std::ops::Bound;
+
+    let mut keys: Vec<u64> = vec![u64::MIN, 1, u64::MAX - 1, u64::MAX];
+    for &s in splitters {
+        keys.extend([s - 1, s, s + 1]);
+    }
+    keys.sort_unstable();
+    keys.dedup();
+
+    let mut oracle = BTreeMap::new();
+    {
+        let mut sess = forest.session();
+        for &k in &keys {
+            assert!(sess.insert(k, !k), "insert {k}");
+            assert!(!sess.insert(k, !k), "duplicate insert {k} must fail");
+            oracle.insert(k, !k);
+        }
+    }
+    forest
+        .validate_structure()
+        .expect("boundary-key forest validates");
+
+    let mut sess = forest.session();
+    for &k in &keys {
+        assert_eq!(sess.get(&k), Some(!k), "get {k}");
+    }
+
+    // Spans whose endpoints sit exactly on routing boundaries, plus the
+    // full key space, single-point spans, and an inverted span.
+    let mut spans: Vec<(u64, u64)> = vec![(u64::MIN, u64::MAX), (u64::MAX, u64::MIN)];
+    for &s in splitters {
+        spans.extend([(u64::MIN, s), (s, u64::MAX), (s, s), (s - 1, s + 1)]);
+    }
+    for w in splitters.windows(2) {
+        spans.push((w[0], w[1]));
+    }
+    for (lo, hi) in spans {
+        let want: Vec<(u64, u64)> = if lo <= hi {
+            oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect()
+        } else {
+            Vec::new()
+        };
+        assert_eq!(sess.range_scan(&lo, &hi), want, "range_scan({lo}, {hi})");
+    }
+
+    // Directed probes at and around every boundary (strict on both sides).
+    for &k in &keys {
+        let suc = oracle
+            .range((Bound::Excluded(k), Bound::Unbounded))
+            .next()
+            .map(|(&a, &b)| (a, b));
+        assert_eq!(sess.successor(&k), suc, "successor({k})");
+        let pred = oracle.range(..k).next_back().map(|(&a, &b)| (a, b));
+        assert_eq!(sess.predecessor(&k), pred, "predecessor({k})");
+    }
+    drop(sess);
+
+    // Draining through fresh sessions exercises the same routing again.
+    let mut sess = forest.session();
+    for &k in &keys {
+        assert!(sess.remove(&k), "remove {k}");
+    }
+    drop(sess);
+    forest
+        .validate_structure()
+        .expect("drained forest validates");
+}
+
+#[test]
+fn range_router_boundary_battery() {
+    let splitters = vec![100u64, 200, 300];
+    boundary_battery(
+        CitrusForest::with_range_router(splitters.clone()),
+        &splitters,
+    );
+}
+
+#[test]
+fn hash_router_boundary_battery() {
+    boundary_battery(
+        CitrusForest::with_sharding_seed(4, 0x5EED),
+        &[100u64, 200, 300],
+    );
+}
+
+#[test]
+fn range_router_degenerate_single_shard_battery() {
+    // An empty splitter list is a legal one-shard forest; the whole
+    // battery must still hold with every span handled by shard 0.
+    let forest: CitrusForest<u64, u64> = CitrusForest::with_range_router(Vec::new());
+    assert_eq!(forest.shard_count(), 1);
+    boundary_battery(forest, &[1u64 << 32]);
 }
 
 #[test]

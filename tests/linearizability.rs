@@ -115,7 +115,7 @@ fn citrus_global_lock_leak() {
 #[test]
 fn forest_one_shard() {
     lin_battery(
-        || CitrusForest::<u64, u64>::with_config(1, 0x5EED, ReclaimMode::Epoch),
+        || CitrusForest::<u64, u64>::with_env_router(1, 0x5EED, ReclaimMode::Epoch, 32),
         0x11A_0011,
     );
 }
@@ -123,7 +123,7 @@ fn forest_one_shard() {
 #[test]
 fn forest_four_shards() {
     lin_battery(
-        || CitrusForest::<u64, u64>::with_config(4, 0x5EED, ReclaimMode::Epoch),
+        || CitrusForest::<u64, u64>::with_env_router(4, 0x5EED, ReclaimMode::Epoch, 32),
         0x11A_0014,
     );
 }
@@ -131,7 +131,7 @@ fn forest_four_shards() {
 #[test]
 fn forest_eight_shards() {
     lin_battery(
-        || CitrusForest::<u64, u64>::with_config(8, 0x5EED, ReclaimMode::Epoch),
+        || CitrusForest::<u64, u64>::with_env_router(8, 0x5EED, ReclaimMode::Epoch, 32),
         0x11A_0018,
     );
 }
@@ -213,7 +213,7 @@ fn scan_citrus_global_lock_deferred() {
 #[test]
 fn scan_forest_one_shard() {
     scan_battery(
-        || CitrusForest::<u64, u64>::with_config(1, 0x5EED, ReclaimMode::Epoch),
+        || CitrusForest::<u64, u64>::with_env_router(1, 0x5EED, ReclaimMode::Epoch, 16),
         0x5CA_0011,
     );
 }
@@ -221,7 +221,7 @@ fn scan_forest_one_shard() {
 #[test]
 fn scan_forest_four_shards() {
     scan_battery(
-        || CitrusForest::<u64, u64>::with_config(4, 0x5EED, ReclaimMode::Epoch),
+        || CitrusForest::<u64, u64>::with_env_router(4, 0x5EED, ReclaimMode::Epoch, 16),
         0x5CA_0014,
     );
 }
@@ -229,8 +229,27 @@ fn scan_forest_four_shards() {
 #[test]
 fn scan_forest_eight_shards() {
     scan_battery(
-        || CitrusForest::<u64, u64>::with_config(8, 0x5EED, ReclaimMode::Epoch),
+        || CitrusForest::<u64, u64>::with_env_router(8, 0x5EED, ReclaimMode::Epoch, 16),
         0x5CA_0018,
+    );
+}
+
+/// Explicitly range-routed forest (independent of `CITRUS_ROUTER`): the
+/// partial fan-out — scans entering only overlapping shards, directed
+/// successor/predecessor probes touching one or two — must still
+/// linearize against the multi-key WGL checker. Splitters at 4 and 8 cut
+/// the 16-key scan range into three live shards.
+#[test]
+fn scan_forest_range_router() {
+    scan_battery(
+        || {
+            CitrusForest::<u64, u64>::with_range_router_options(
+                vec![4, 8],
+                ReclaimMode::Epoch,
+                false,
+            )
+        },
+        0x5CA_0019,
     );
 }
 
