@@ -35,7 +35,7 @@ pub const METRIC_KEYS: [&str; 5] = [
 /// Object fields that identify a row (workload configuration). Scalar
 /// fields outside this list — measured counters like `piggybacks` — are
 /// ignored entirely, so their run-to-run noise cannot unmatch a row.
-pub const IDENTITY_KEYS: [&str; 16] = [
+pub const IDENTITY_KEYS: [&str; 20] = [
     "bench",
     "label",
     "flavor",
@@ -52,6 +52,10 @@ pub const IDENTITY_KEYS: [&str; 16] = [
     "span",
     "router",
     "key_dist",
+    "scenario",
+    "op",
+    "clients",
+    "target_rps",
 ];
 
 /// Default tolerated drop before a row fails the gate, in percent.
@@ -364,6 +368,43 @@ mod tests {
         assert!(
             !row.contains("restarts"),
             "restart counts are measured noise, not identity: {row}"
+        );
+    }
+
+    #[test]
+    fn serve_scenario_and_op_class_are_identity() {
+        // Serve rows are keyed per scenario × op class × load shape; a
+        // healthy scan row must not mask a regressed get row, and the
+        // latency percentiles ride along as plain (non-gated) fields.
+        let base = doc(r#"{"bench": "serve", "cells": [
+                {"scenario": "routing-table", "op": "get", "router": "hash",
+                 "clients": 4, "target_rps": 4000, "ops_per_s": 3500.0,
+                 "p50_ns": 8191, "p99_ns": 65535, "p999_ns": 131071},
+                {"scenario": "routing-table", "op": "scan", "router": "hash",
+                 "clients": 4, "target_rps": 4000, "ops_per_s": 90.0,
+                 "p50_ns": 16383, "p99_ns": 131071, "p999_ns": 262143}
+            ]}"#);
+        let fresh = doc(r#"{"bench": "serve", "cells": [
+                {"scenario": "routing-table", "op": "get", "router": "hash",
+                 "clients": 4, "target_rps": 4000, "ops_per_s": 350.0,
+                 "p50_ns": 8191, "p99_ns": 65535, "p999_ns": 131071},
+                {"scenario": "routing-table", "op": "scan", "router": "hash",
+                 "clients": 4, "target_rps": 4000, "ops_per_s": 90.0,
+                 "p50_ns": 16383, "p99_ns": 131071, "p999_ns": 262143}
+            ]}"#);
+        let report = check(&base, &fresh, 30.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].row.contains("op=get"));
+
+        let rows = collect_rows(&base);
+        let row = rows.keys().next().unwrap();
+        assert!(
+            row.contains("scenario=") && row.contains("op=") && row.contains("target_rps="),
+            "row was {row}"
+        );
+        assert!(
+            !row.contains("p99_ns"),
+            "latency percentiles are reported fields, not identity: {row}"
         );
     }
 

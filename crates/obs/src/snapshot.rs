@@ -72,6 +72,24 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Median upper bound: `quantile_upper_bound(0.50)`.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper_bound(0.50)
+    }
+
+    /// 99th-percentile upper bound: `quantile_upper_bound(0.99)`.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper_bound(0.99)
+    }
+
+    /// 99.9th-percentile upper bound: `quantile_upper_bound(0.999)`.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile_upper_bound(0.999)
+    }
 }
 
 /// The value carried by one [`MetricEntry`].
@@ -293,6 +311,9 @@ mod tests {
         // p50 lands in bucket 1 (values < 2), p99 in bucket 3 (values < 8).
         assert_eq!(h.quantile_upper_bound(0.50), 1);
         assert_eq!(h.quantile_upper_bound(0.99), 7);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p99(), 7);
+        assert_eq!(h.p999(), 7);
         assert_eq!(h.mean(), 7.0 / 3.0);
         assert_eq!(HistogramSnapshot::empty().quantile_upper_bound(0.99), 0);
     }

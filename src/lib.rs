@@ -8,6 +8,8 @@
 //! * [`citrus_rcu`] — the two user-space RCU implementations.
 //! * [`citrus_baselines`] — the five comparison dictionaries.
 //! * [`citrus_harness`] — the evaluation harness (Figures 8–10).
+//! * [`citrus_serve`] — the batched, backpressured serving layer over
+//!   the forest.
 
 #![warn(missing_docs)]
 
@@ -18,6 +20,7 @@ pub use citrus_chaos;
 pub use citrus_harness;
 pub use citrus_rcu;
 pub use citrus_reclaim;
+pub use citrus_serve;
 pub use citrus_sync;
 
 /// Convenient glob-import surface for examples and tests.
@@ -31,4 +34,5 @@ pub mod prelude {
         BonsaiTree, LazySkipList, LockFreeBst, OptimisticAvlTree, RelativisticRbTree,
     };
     pub use citrus_rcu::{RcuFlavor, RcuHandle};
+    pub use citrus_serve::{Request, Response, ServeConfig, ServeSession, Server, SubmitError};
 }

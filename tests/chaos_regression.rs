@@ -61,6 +61,28 @@ fn bonsai_pinned_seed() {
     testkit::check_chaos_seed(BonsaiTree::<u64, u64>::new, 0xC17_0507);
 }
 
+/// The serve boundary: the whole testkit battery (including the
+/// concurrent lost-update and mixed-consistency checks) with every
+/// operation crossing a `citrus-serve` submit → batch → response path.
+/// Small batches plus a short recycle period keep the worker-side
+/// failpoints (`serve/batch/*`, `serve/shutdown/drain`) hot under the
+/// pinned schedule.
+#[test]
+fn serve_pinned_seed() {
+    use citrus_repro::citrus_serve::{ServeConfig, Server};
+    testkit::check_chaos_seed(
+        || {
+            Server::with_config(
+                CitrusForest::<u64, u64>::with_options(2, 0x5EED, ReclaimMode::Epoch, true),
+                ServeConfig::default()
+                    .with_batch_max(4)
+                    .with_recycle_ops(16),
+            )
+        },
+        0xC17_0510,
+    );
+}
+
 /// Sweeps `CITRUS_CHAOS_SEEDS` consecutive seeds (default 3) over the
 /// Citrus tree; CI's chaos job raises the count. A failing seed prints
 /// its replay recipe before re-panicking.
